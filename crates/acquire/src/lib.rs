@@ -1,0 +1,16 @@
+//! # ferret-acquire
+//!
+//! Data acquisition for the Ferret toolkit (paper §4.3): periodic
+//! directory scanning with change detection, a persistent scan manifest,
+//! and an import pipeline that feeds new and changed files through the
+//! plug-in extractor into the search system (with automatically collected
+//! file attributes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod importer;
+pub mod scanner;
+
+pub use importer::{file_attributes, ImportReport, ImportSink, Importer};
+pub use scanner::{FileStamp, Manifest, ScanReport, MANIFEST_TABLE};

@@ -1,0 +1,276 @@
+//! The in-memory attribute index.
+//!
+//! Maintains an inverted index from `(field, token)` to object ids for
+//! keyword matching, plus a per-field ordered numeric index for range
+//! queries. The index is the volatile image of the attributes table; it is
+//! rebuilt from persisted attributes on open.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use ferret_core::object::ObjectId;
+
+use crate::value::Attributes;
+
+/// Totally ordered f64 wrapper for use as a BTreeMap key (NaNs rejected at
+/// insertion time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Inverted + numeric attribute index.
+#[derive(Debug, Default)]
+pub struct AttrIndex {
+    /// `(field, token)` -> ids.
+    tokens: HashMap<(String, String), HashSet<ObjectId>>,
+    /// `field` -> ordered numeric value -> ids.
+    numbers: HashMap<String, BTreeMap<OrdF64, HashSet<ObjectId>>>,
+    /// Everything indexed, for NOT queries.
+    all: HashSet<ObjectId>,
+    /// Per-object attributes, for removal and reporting.
+    attrs: HashMap<ObjectId, Attributes>,
+}
+
+impl AttrIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// True if no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// All indexed object ids.
+    pub fn all_ids(&self) -> &HashSet<ObjectId> {
+        &self.all
+    }
+
+    /// The stored attributes of an object.
+    pub fn attributes(&self, id: ObjectId) -> Option<&Attributes> {
+        self.attrs.get(&id)
+    }
+
+    /// Indexes (or re-indexes) an object's attributes.
+    pub fn insert(&mut self, id: ObjectId, attrs: Attributes) {
+        self.remove(id);
+        for (field, value) in &attrs {
+            for token in value.tokens() {
+                self.tokens
+                    .entry((field.clone(), token))
+                    .or_default()
+                    .insert(id);
+            }
+            if let Some(n) = value.as_number() {
+                if n.is_finite() {
+                    self.numbers
+                        .entry(field.clone())
+                        .or_default()
+                        .entry(OrdF64(n))
+                        .or_default()
+                        .insert(id);
+                }
+            }
+        }
+        self.all.insert(id);
+        self.attrs.insert(id, attrs);
+    }
+
+    /// Removes an object from the index; returns `true` if it was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(attrs) = self.attrs.remove(&id) else {
+            return false;
+        };
+        for (field, value) in &attrs {
+            for token in value.tokens() {
+                let key = (field.clone(), token);
+                if let Some(set) = self.tokens.get_mut(&key) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.tokens.remove(&key);
+                    }
+                }
+            }
+            if let Some(n) = value.as_number() {
+                if let Some(by_val) = self.numbers.get_mut(field) {
+                    if let Some(set) = by_val.get_mut(&OrdF64(n)) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            by_val.remove(&OrdF64(n));
+                        }
+                    }
+                }
+            }
+        }
+        self.all.remove(&id);
+        true
+    }
+
+    /// Objects whose `field` contains `token` (case-insensitive).
+    pub fn match_token(&self, field: &str, token: &str) -> HashSet<ObjectId> {
+        self.tokens
+            .get(&(field.to_string(), token.to_ascii_lowercase()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Objects whose token appears in *any* field.
+    pub fn match_any_field(&self, token: &str) -> HashSet<ObjectId> {
+        let token = token.to_ascii_lowercase();
+        let mut out = HashSet::new();
+        for ((_, t), ids) in &self.tokens {
+            if *t == token {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Objects whose numeric `field` lies in `[lo, hi]` (either bound may be
+    /// unbounded).
+    pub fn match_range(&self, field: &str, lo: Option<f64>, hi: Option<f64>) -> HashSet<ObjectId> {
+        let mut out = HashSet::new();
+        let Some(by_val) = self.numbers.get(field) else {
+            return out;
+        };
+        use std::ops::Bound;
+        let lo_bound = lo.map_or(Bound::Unbounded, |v| Bound::Included(OrdF64(v)));
+        let hi_bound = hi.map_or(Bound::Unbounded, |v| Bound::Included(OrdF64(v)));
+        for (_, ids) in by_val.range((lo_bound, hi_bound)) {
+            out.extend(ids.iter().copied());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrsBuilder;
+
+    fn index_with_three() -> AttrIndex {
+        let mut idx = AttrIndex::new();
+        idx.insert(
+            ObjectId(1),
+            AttrsBuilder::new()
+                .text("caption", "a red dog playing")
+                .keyword("collection", "corel")
+                .int("year", 2001)
+                .build(),
+        );
+        idx.insert(
+            ObjectId(2),
+            AttrsBuilder::new()
+                .text("caption", "a blue bird")
+                .keyword("collection", "corel")
+                .int("year", 2004)
+                .build(),
+        );
+        idx.insert(
+            ObjectId(3),
+            AttrsBuilder::new()
+                .text("caption", "red sunset")
+                .keyword("collection", "web")
+                .float("year", 2005.5)
+                .build(),
+        );
+        idx
+    }
+
+    #[test]
+    fn token_matching() {
+        let idx = index_with_three();
+        assert_eq!(
+            idx.match_token("caption", "red"),
+            HashSet::from([ObjectId(1), ObjectId(3)])
+        );
+        assert_eq!(
+            idx.match_token("caption", "RED"),
+            HashSet::from([ObjectId(1), ObjectId(3)])
+        );
+        assert_eq!(
+            idx.match_token("collection", "corel"),
+            HashSet::from([ObjectId(1), ObjectId(2)])
+        );
+        assert!(idx.match_token("caption", "cat").is_empty());
+        assert!(idx.match_token("nosuchfield", "red").is_empty());
+    }
+
+    #[test]
+    fn any_field_matching() {
+        let idx = index_with_three();
+        assert_eq!(
+            idx.match_any_field("red"),
+            HashSet::from([ObjectId(1), ObjectId(3)])
+        );
+        assert_eq!(idx.match_any_field("web"), HashSet::from([ObjectId(3)]));
+    }
+
+    #[test]
+    fn range_matching() {
+        let idx = index_with_three();
+        assert_eq!(
+            idx.match_range("year", Some(2002.0), Some(2005.0)),
+            HashSet::from([ObjectId(2)])
+        );
+        assert_eq!(
+            idx.match_range("year", Some(2002.0), None),
+            HashSet::from([ObjectId(2), ObjectId(3)])
+        );
+        assert_eq!(
+            idx.match_range("year", None, Some(2004.0)),
+            HashSet::from([ObjectId(1), ObjectId(2)])
+        );
+        assert_eq!(idx.match_range("year", None, None).len(), 3);
+        assert!(idx.match_range("missing", None, None).is_empty());
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let mut idx = index_with_three();
+        assert!(idx.remove(ObjectId(1)));
+        assert!(!idx.remove(ObjectId(1)));
+        assert_eq!(idx.match_token("caption", "red"), HashSet::from([ObjectId(3)]));
+        assert_eq!(idx.match_range("year", None, Some(2003.0)).len(), 0);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_attributes() {
+        let mut idx = index_with_three();
+        idx.insert(
+            ObjectId(1),
+            AttrsBuilder::new().text("caption", "green tree").build(),
+        );
+        assert!(!idx.match_token("caption", "dog").contains(&ObjectId(1)));
+        assert!(idx.match_token("caption", "green").contains(&ObjectId(1)));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.attributes(ObjectId(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let idx = AttrIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.match_token("a", "b").is_empty());
+        assert!(idx.attributes(ObjectId(1)).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # ferret-attr
+//!
+//! Attribute-based search for the Ferret toolkit (paper §4.1.2). Keyword,
+//! text, and numeric attributes are indexed per object; a small boolean
+//! query language (`collection:corel AND NOT year<2000`) selects object
+//! sets that can seed a similarity search or restrict its candidates.
+//!
+//! ```
+//! use ferret_attr::{AttrIndex, AttrsBuilder, Query};
+//! use ferret_core::object::ObjectId;
+//!
+//! let mut index = AttrIndex::new();
+//! index.insert(ObjectId(1), AttrsBuilder::new()
+//!     .text("caption", "a red dog")
+//!     .keyword("collection", "corel")
+//!     .build());
+//!
+//! let hits = Query::parse("caption:dog AND collection:corel").unwrap().eval(&index);
+//! assert!(hits.contains(&ObjectId(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod query;
+pub mod store;
+pub mod value;
+
+pub use index::AttrIndex;
+pub use query::{ParseError, Query};
+pub use store::{AttrStore, ATTR_TABLE};
+pub use value::{tokenize, AttrValue, Attributes, AttrsBuilder};

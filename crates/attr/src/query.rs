@@ -1,0 +1,521 @@
+//! Boolean attribute query language.
+//!
+//! A small expression grammar for attribute-only queries, used to
+//! "bootstrap" similarity search or refine its candidate set (paper
+//! §4.1.2):
+//!
+//! ```text
+//! collection:corel AND (caption:dog OR caption:cat) NOT year<2000
+//! ```
+//!
+//! Grammar (case-insensitive keywords, implicit AND on juxtaposition):
+//!
+//! ```text
+//! expr   := and ("OR" and)*
+//! and    := unary ("AND"? unary)*
+//! unary  := "NOT" unary | primary
+//! primary:= "(" expr ")" | field OP number | field ":" word | word
+//! OP     := ">" | "<" | ">=" | "<=" | "="
+//! ```
+
+use std::collections::HashSet;
+use std::fmt;
+
+use ferret_core::object::ObjectId;
+
+use crate::index::AttrIndex;
+use crate::value::tokenize;
+
+/// A parsed attribute query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// All listed queries must match.
+    And(Vec<Query>),
+    /// Any listed query may match.
+    Or(Vec<Query>),
+    /// The inner query must not match.
+    Not(Box<Query>),
+    /// `field:token` — token must appear in the given field.
+    Term {
+        /// The field name.
+        field: String,
+        /// The (lowercased) token.
+        token: String,
+    },
+    /// Bare `token` — may appear in any field.
+    AnyField {
+        /// The (lowercased) token.
+        token: String,
+    },
+    /// `field OP number` — numeric comparison, expressed as a closed range.
+    Range {
+        /// The field name.
+        field: String,
+        /// Lower bound (inclusive), if any.
+        lo: Option<f64>,
+        /// Upper bound (inclusive), if any.
+        hi: Option<f64>,
+    },
+}
+
+/// A query parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Quoted(String),
+    LParen,
+    RParen,
+    Colon,
+    Op(String),
+    And,
+    Or,
+    Not,
+}
+
+fn lex(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' => {
+                tokens.push((Token::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, start));
+                i += 1;
+            }
+            ':' => {
+                tokens.push((Token::Colon, start));
+                i += 1;
+            }
+            '>' | '<' => {
+                let mut op = c.to_string();
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    op.push('=');
+                    i += 1;
+                }
+                tokens.push((Token::Op(op), start));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Op("=".into()), start));
+                i += 1;
+            }
+            '"' => {
+                i += 1;
+                let qstart = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated quote".into(),
+                        position: start,
+                    });
+                }
+                tokens.push((Token::Quoted(input[qstart..i].to_string()), start));
+                i += 1;
+            }
+            _ if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '/' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_alphanumeric() || cj == '_' || cj == '-' || cj == '.' || cj == '/' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                let token = match word.to_ascii_uppercase().as_str() {
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    _ => Token::Word(word.to_string()),
+                };
+                tokens.push((token, start));
+                i = j;
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character {c:?}"),
+                    position: start,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |(_, p)| *p)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.position(),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Query, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.advance();
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Query::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Query, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        loop {
+            match self.peek() {
+                Some(Token::And) => {
+                    self.advance();
+                    parts.push(self.parse_unary()?);
+                }
+                // Implicit AND on juxtaposition of primaries / NOT.
+                Some(Token::Word(_) | Token::Quoted(_) | Token::LParen | Token::Not) => {
+                    parts.push(self.parse_unary()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Query::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Query, ParseError> {
+        if matches!(self.peek(), Some(Token::Not)) {
+            self.advance();
+            return Ok(Query::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn quoted_to_query(field: Option<&str>, text: &str) -> Query {
+        let terms: Vec<Query> = tokenize(text)
+            .into_iter()
+            .map(|token| match field {
+                Some(f) => Query::Term {
+                    field: f.to_string(),
+                    token,
+                },
+                None => Query::AnyField { token },
+            })
+            .collect();
+        match terms.len() {
+            0 => Query::And(Vec::new()), // Matches everything.
+            1 => terms.into_iter().next().expect("len 1"),
+            _ => Query::And(terms),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Query, ParseError> {
+        match self.advance() {
+            Some(Token::LParen) => {
+                let inner = self.parse_expr()?;
+                match self.advance() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            Some(Token::Quoted(text)) => Ok(Self::quoted_to_query(None, &text)),
+            Some(Token::Word(word)) => match self.peek() {
+                Some(Token::Colon) => {
+                    self.advance();
+                    match self.advance() {
+                        Some(Token::Word(value)) => Ok(Query::Term {
+                            field: word,
+                            token: value.to_ascii_lowercase(),
+                        }),
+                        Some(Token::Quoted(text)) => Ok(Self::quoted_to_query(Some(&word), &text)),
+                        _ => Err(self.err("expected value after ':'")),
+                    }
+                }
+                Some(Token::Op(op)) => {
+                    let op = op.clone();
+                    self.advance();
+                    let num = match self.advance() {
+                        Some(Token::Word(w)) => w.parse::<f64>().map_err(|_| ParseError {
+                            message: format!("expected number, got {w:?}"),
+                            position: self.position(),
+                        })?,
+                        _ => return Err(self.err("expected number after comparison")),
+                    };
+                    let (lo, hi) = match op.as_str() {
+                        ">" => (Some(num + f64::EPSILON * num.abs().max(1.0)), None),
+                        ">=" => (Some(num), None),
+                        "<" => (None, Some(num - f64::EPSILON * num.abs().max(1.0))),
+                        "<=" => (None, Some(num)),
+                        "=" => (Some(num), Some(num)),
+                        _ => return Err(self.err("unknown comparison operator")),
+                    };
+                    Ok(Query::Range {
+                        field: word,
+                        lo,
+                        hi,
+                    })
+                }
+                _ => Ok(Query::AnyField {
+                    token: word.to_ascii_lowercase(),
+                }),
+            },
+            Some(t) => Err(ParseError {
+                message: format!("unexpected token {t:?}"),
+                position: self.position(),
+            }),
+            None => Err(self.err("unexpected end of query")),
+        }
+    }
+}
+
+impl Query {
+    /// Parses a query expression.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        let tokens = lex(input)?;
+        if tokens.is_empty() {
+            return Err(ParseError {
+                message: "empty query".into(),
+                position: 0,
+            });
+        }
+        let mut parser = Parser {
+            tokens,
+            pos: 0,
+            input_len: input.len(),
+        };
+        let query = parser.parse_expr()?;
+        if parser.peek().is_some() {
+            return Err(parser.err("trailing input"));
+        }
+        Ok(query)
+    }
+
+    /// Evaluates the query against an index, returning matching ids.
+    pub fn eval(&self, index: &AttrIndex) -> HashSet<ObjectId> {
+        match self {
+            Query::And(parts) => {
+                if parts.is_empty() {
+                    return index.all_ids().clone();
+                }
+                let mut sets: Vec<HashSet<ObjectId>> =
+                    parts.iter().map(|p| p.eval(index)).collect();
+                // Intersect starting from the smallest set.
+                sets.sort_by_key(HashSet::len);
+                let mut result = sets.remove(0);
+                for s in sets {
+                    result.retain(|id| s.contains(id));
+                    if result.is_empty() {
+                        break;
+                    }
+                }
+                result
+            }
+            Query::Or(parts) => {
+                let mut result = HashSet::new();
+                for p in parts {
+                    result.extend(p.eval(index));
+                }
+                result
+            }
+            Query::Not(inner) => {
+                let matched = inner.eval(index);
+                index
+                    .all_ids()
+                    .iter()
+                    .copied()
+                    .filter(|id| !matched.contains(id))
+                    .collect()
+            }
+            Query::Term { field, token } => index.match_token(field, token),
+            Query::AnyField { token } => index.match_any_field(token),
+            Query::Range { field, lo, hi } => index.match_range(field, *lo, *hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrsBuilder;
+
+    fn index() -> AttrIndex {
+        let mut idx = AttrIndex::new();
+        idx.insert(
+            ObjectId(1),
+            AttrsBuilder::new()
+                .text("caption", "red dog")
+                .keyword("collection", "corel")
+                .int("year", 2001)
+                .build(),
+        );
+        idx.insert(
+            ObjectId(2),
+            AttrsBuilder::new()
+                .text("caption", "blue bird singing")
+                .keyword("collection", "corel")
+                .int("year", 2004)
+                .build(),
+        );
+        idx.insert(
+            ObjectId(3),
+            AttrsBuilder::new()
+                .text("caption", "red sunset")
+                .keyword("collection", "web")
+                .int("year", 2005)
+                .build(),
+        );
+        idx
+    }
+
+    fn eval(q: &str) -> HashSet<u64> {
+        Query::parse(q)
+            .unwrap()
+            .eval(&index())
+            .into_iter()
+            .map(|id| id.0)
+            .collect()
+    }
+
+    #[test]
+    fn term_queries() {
+        assert_eq!(eval("caption:red"), HashSet::from([1, 3]));
+        assert_eq!(eval("collection:corel"), HashSet::from([1, 2]));
+        assert_eq!(eval("caption:missing"), HashSet::new());
+    }
+
+    #[test]
+    fn any_field_queries() {
+        assert_eq!(eval("red"), HashSet::from([1, 3]));
+        assert_eq!(eval("corel"), HashSet::from([1, 2]));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        assert_eq!(eval("caption:red AND collection:corel"), HashSet::from([1]));
+        // Implicit AND.
+        assert_eq!(eval("caption:red collection:corel"), HashSet::from([1]));
+        assert_eq!(
+            eval("caption:dog OR caption:bird"),
+            HashSet::from([1, 2])
+        );
+        assert_eq!(eval("NOT collection:corel"), HashSet::from([3]));
+        assert_eq!(
+            eval("collection:corel AND NOT caption:dog"),
+            HashSet::from([2])
+        );
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // AND binds tighter than OR.
+        assert_eq!(
+            eval("caption:dog AND collection:web OR caption:bird"),
+            HashSet::from([2])
+        );
+        assert_eq!(
+            eval("caption:dog AND (collection:web OR caption:bird)"),
+            HashSet::new()
+        );
+        assert_eq!(
+            eval("(caption:dog OR caption:sunset) AND collection:web"),
+            HashSet::from([3])
+        );
+    }
+
+    #[test]
+    fn range_queries() {
+        assert_eq!(eval("year>2001"), HashSet::from([2, 3]));
+        assert_eq!(eval("year>=2001"), HashSet::from([1, 2, 3]));
+        assert_eq!(eval("year<2004"), HashSet::from([1]));
+        assert_eq!(eval("year<=2004"), HashSet::from([1, 2]));
+        assert_eq!(eval("year=2004"), HashSet::from([2]));
+        assert_eq!(eval("year>2001 AND year<2005"), HashSet::from([2]));
+    }
+
+    #[test]
+    fn quoted_phrases() {
+        assert_eq!(eval("caption:\"blue bird\""), HashSet::from([2]));
+        assert_eq!(eval("\"red dog\""), HashSet::from([1]));
+        // All words of the phrase must match (conjunctive).
+        assert_eq!(eval("caption:\"red bird\""), HashSet::new());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Query::parse("").is_err());
+        assert!(Query::parse("(a OR b").is_err());
+        assert!(Query::parse("field:").is_err());
+        assert!(Query::parse("year >").is_err());
+        assert!(Query::parse("year > dog").is_err());
+        assert!(Query::parse("\"unterminated").is_err());
+        assert!(Query::parse("a ) b").is_err());
+        assert!(Query::parse("caption:red ??").is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = Query::parse("caption:red @").unwrap_err();
+        assert_eq!(err.position, 12);
+        assert!(err.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn not_of_everything_is_empty() {
+        assert_eq!(eval("NOT (caption:red OR caption:blue)").len(), 0);
+    }
+}

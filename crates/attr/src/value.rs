@@ -1,0 +1,151 @@
+//! Typed attribute values and per-object attribute sets.
+//!
+//! Attributes "may take several forms: generic attributes such as creation
+//! time, automatically collected annotations such as GPS coordinates ...
+//! or manual annotations" (paper §4.1.2).
+
+use std::collections::BTreeMap;
+
+/// One attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Free text; tokenized into keywords for indexing.
+    Text(String),
+    /// An exact-match keyword (not tokenized).
+    Keyword(String),
+    /// A signed integer (timestamps, counters).
+    Int(i64),
+    /// A floating-point value (GPS coordinates, durations).
+    Float(f64),
+}
+
+impl AttrValue {
+    /// The index tokens this value produces.
+    pub fn tokens(&self) -> Vec<String> {
+        match self {
+            AttrValue::Text(s) => tokenize(s),
+            AttrValue::Keyword(s) => {
+                if s.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![s.to_ascii_lowercase()]
+                }
+            }
+            AttrValue::Int(i) => vec![i.to_string()],
+            AttrValue::Float(_) => Vec::new(), // Floats are range-indexed only.
+        }
+    }
+
+    /// The numeric interpretation, if any (for range queries).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Lowercases and splits text into alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_ascii_lowercase)
+        .collect()
+}
+
+/// The attribute set attached to one object, keyed by field name.
+pub type Attributes = BTreeMap<String, AttrValue>;
+
+/// Builder-style helper for constructing attribute sets.
+#[derive(Debug, Clone, Default)]
+pub struct AttrsBuilder {
+    attrs: Attributes,
+}
+
+impl AttrsBuilder {
+    /// Starts an empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a free-text attribute.
+    pub fn text(mut self, field: &str, value: &str) -> Self {
+        self.attrs
+            .insert(field.to_string(), AttrValue::Text(value.to_string()));
+        self
+    }
+
+    /// Adds an exact-keyword attribute.
+    pub fn keyword(mut self, field: &str, value: &str) -> Self {
+        self.attrs
+            .insert(field.to_string(), AttrValue::Keyword(value.to_string()));
+        self
+    }
+
+    /// Adds an integer attribute.
+    pub fn int(mut self, field: &str, value: i64) -> Self {
+        self.attrs.insert(field.to_string(), AttrValue::Int(value));
+        self
+    }
+
+    /// Adds a float attribute.
+    pub fn float(mut self, field: &str, value: f64) -> Self {
+        self.attrs
+            .insert(field.to_string(), AttrValue::Float(value));
+        self
+    }
+
+    /// Finishes the attribute set.
+    pub fn build(self) -> Attributes {
+        self.attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("A dog, a CAT; bird-47!"),
+            vec!["a", "dog", "a", "cat", "bird", "47"]
+        );
+        assert!(tokenize("  \t ").is_empty());
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn value_tokens() {
+        assert_eq!(
+            AttrValue::Text("Red Dog".into()).tokens(),
+            vec!["red", "dog"]
+        );
+        assert_eq!(AttrValue::Keyword("Corel".into()).tokens(), vec!["corel"]);
+        assert!(AttrValue::Keyword(String::new()).tokens().is_empty());
+        assert_eq!(AttrValue::Int(-5).tokens(), vec!["-5"]);
+        assert!(AttrValue::Float(2.5).tokens().is_empty());
+    }
+
+    #[test]
+    fn value_numbers() {
+        assert_eq!(AttrValue::Int(3).as_number(), Some(3.0));
+        assert_eq!(AttrValue::Float(2.5).as_number(), Some(2.5));
+        assert_eq!(AttrValue::Text("3".into()).as_number(), None);
+        assert_eq!(AttrValue::Keyword("3".into()).as_number(), None);
+    }
+
+    #[test]
+    fn builder_collects_fields() {
+        let attrs = AttrsBuilder::new()
+            .text("caption", "sunset over water")
+            .keyword("collection", "corel")
+            .int("year", 2005)
+            .float("duration", 3.5)
+            .build();
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs["year"], AttrValue::Int(2005));
+        assert_eq!(attrs["duration"].as_number(), Some(3.5));
+    }
+}

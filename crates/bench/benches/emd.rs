@@ -1,0 +1,90 @@
+//! Micro-benchmarks for the object distance functions: exact EMD
+//! (transportation solver), greedy EMD, and thresholded EMD — the paper
+//! calls EMD "relatively inefficient to compute" (§8), which is what
+//! motivates sketch filtering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ferret_core::distance::emd::{Emd, GreedyEmd, ThresholdedEmd};
+use ferret_core::distance::lp::L1;
+use ferret_core::distance::ObjectDistance;
+use ferret_core::object::DataObject;
+use ferret_core::vector::FeatureVector;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_object(segments: usize, dim: usize, rng: &mut ChaCha8Rng) -> DataObject {
+    DataObject::new(
+        (0..segments)
+            .map(|_| {
+                (
+                    FeatureVector::from_components(
+                        (0..dim).map(|_| rng.random_range(0.0f32..1.0)).collect(),
+                    ),
+                    rng.random_range(0.1f32..1.0),
+                )
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_emd_by_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_exact_by_segments");
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for segments in [2usize, 5, 11, 20, 32] {
+        let x = random_object(segments, 14, &mut rng);
+        let y = random_object(segments, 14, &mut rng);
+        let emd = Emd::new(L1);
+        group.bench_function(BenchmarkId::from_parameter(segments), |b| {
+            b.iter(|| black_box(emd.distance(black_box(&x), black_box(&y)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_emd_variants(c: &mut Criterion) {
+    // Paper-like image objects: ~11 segments of 14 dimensions.
+    let mut group = c.benchmark_group("emd_variants_11seg_14d");
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let x = random_object(11, 14, &mut rng);
+    let y = random_object(11, 14, &mut rng);
+    let exact = Emd::new(L1);
+    let greedy = GreedyEmd::new(L1);
+    let thresholded = ThresholdedEmd::new(L1, 2.0, true);
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(exact.distance(black_box(&x), black_box(&y)).unwrap()));
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy.distance(black_box(&x), black_box(&y)).unwrap()));
+    });
+    group.bench_function("thresholded_sqrt", |b| {
+        b.iter(|| black_box(thresholded.distance(black_box(&x), black_box(&y)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_emd_by_dim(c: &mut Criterion) {
+    // Ground-distance cost dominates at high dimensionality (audio 192-d).
+    let mut group = c.benchmark_group("emd_exact_by_dim_8seg");
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for dim in [14usize, 64, 192, 544] {
+        let x = random_object(8, dim, &mut rng);
+        let y = random_object(8, dim, &mut rng);
+        let emd = Emd::new(L1);
+        group.bench_function(BenchmarkId::from_parameter(dim), |b| {
+            b.iter(|| black_box(emd.distance(black_box(&x), black_box(&y)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_emd_by_segments,
+    bench_emd_variants,
+    bench_emd_by_dim
+);
+criterion_main!(benches);

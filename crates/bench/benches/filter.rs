@@ -1,0 +1,108 @@
+//! Micro-benchmarks for the filtering unit and full queries: how much the
+//! two-step filter-then-rank design saves over brute force (paper §6.3.3
+//! in miniature).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ferret_core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret_core::filter::{filter_candidates, FilterParams};
+use ferret_core::object::ObjectId;
+use ferret_datatypes::image::{generate_mixed_images, image_sketch_params};
+
+fn engine_with(n: usize) -> SearchEngine {
+    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    for (id, obj) in generate_mixed_images(n, 11) {
+        engine.insert(id, obj).unwrap();
+    }
+    engine
+}
+
+fn bench_filter_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_scan");
+    group.sample_size(20);
+    for n in [5_000usize, 20_000] {
+        let engine = engine_with(n);
+        let query = engine.sketched(ObjectId(0)).unwrap().clone();
+        let params = FilterParams {
+            query_segments: 2,
+            candidates_per_segment: 40,
+            ..FilterParams::default()
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let dataset = engine
+                    .ids()
+                    .iter()
+                    .map(|&id| (id, engine.sketched(id).unwrap()));
+                black_box(filter_candidates(black_box(&query), dataset, &params).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_modes_5k_images");
+    group.sample_size(10);
+    let engine = engine_with(5_000);
+    for (label, mode) in [
+        ("brute_original", QueryMode::BruteForceOriginal),
+        ("brute_sketch", QueryMode::BruteForceSketch),
+        ("filtering", QueryMode::Filtering),
+    ] {
+        let options = QueryOptions {
+            k: 10,
+            mode,
+            filter: FilterParams {
+                query_segments: 2,
+                candidates_per_segment: 40,
+                ..FilterParams::default()
+            },
+            ..QueryOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.query_by_id(ObjectId(7), black_box(&options)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_disk_filter(c: &mut Criterion) {
+    // Out-of-core filtering (paper §8 future work): streaming sketches
+    // from a file vs scanning them in memory.
+    use ferret_core::sketch::{filter_candidates_on_disk, SketchFileWriter};
+    let mut group = c.benchmark_group("filter_scan_disk_vs_memory_20k");
+    group.sample_size(10);
+    let engine = engine_with(20_000);
+    let query = engine.sketched(ObjectId(0)).unwrap().clone();
+    let params = FilterParams {
+        query_segments: 2,
+        candidates_per_segment: 40,
+        ..FilterParams::default()
+    };
+    let path = std::env::temp_dir().join(format!("ferret-bench-diskdb-{}.fskd", std::process::id()));
+    let mut writer = SketchFileWriter::create(&path, 96).unwrap();
+    for &id in engine.ids() {
+        writer.append(id, engine.sketched(id).unwrap()).unwrap();
+    }
+    writer.finish().unwrap();
+    group.bench_function("memory", |b| {
+        b.iter(|| {
+            let dataset = engine
+                .ids()
+                .iter()
+                .map(|&id| (id, engine.sketched(id).unwrap()));
+            black_box(filter_candidates(black_box(&query), dataset, &params).unwrap())
+        });
+    });
+    group.bench_function("disk", |b| {
+        b.iter(|| black_box(filter_candidates_on_disk(&path, black_box(&query), &params).unwrap()));
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_filter_scan, bench_query_modes, bench_disk_filter);
+criterion_main!(benches);

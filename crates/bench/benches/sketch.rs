@@ -1,0 +1,86 @@
+//! Micro-benchmarks for sketch construction and Hamming comparison — the
+//! two hot operations of the core engine (paper §4.1.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ferret_core::sketch::{BitVec, SketchBuilder, SketchParams};
+use ferret_core::vector::FeatureVector;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_vector(dim: usize, rng: &mut ChaCha8Rng) -> FeatureVector {
+    FeatureVector::from_components((0..dim).map(|_| rng.random_range(0.0..1.0)).collect())
+}
+
+fn bench_sketch_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_construction");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    // The paper's three configurations: image 14-d/96-bit, audio
+    // 192-d/600-bit, shape 544-d/800-bit.
+    for (label, dim, bits) in [
+        ("image_14d_96b", 14usize, 96usize),
+        ("audio_192d_600b", 192, 600),
+        ("shape_544d_800b", 544, 800),
+    ] {
+        let params =
+            SketchParams::with_options(bits, 2, vec![0.0; dim], vec![1.0; dim], None).unwrap();
+        let builder = SketchBuilder::new(params, 7);
+        let v = random_vector(dim, &mut rng);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(builder.sketch(black_box(&v)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming_distance");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for bits in [96usize, 600, 800] {
+        let a = BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>());
+        let b = BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>());
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(bits), |bench| {
+            bench.iter(|| black_box(black_box(&a).hamming_unchecked(black_box(&b))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming_scan(c: &mut Criterion) {
+    // The filtering unit's inner loop: one query sketch against a stream
+    // of dataset sketches.
+    let mut group = c.benchmark_group("hamming_scan_100k");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for bits in [96usize, 800] {
+        let query =
+            BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>());
+        let dataset: Vec<BitVec> = (0..100_000)
+            .map(|_| {
+                BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>())
+            })
+            .collect();
+        group.throughput(Throughput::Elements(dataset.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(bits), |bench| {
+            bench.iter(|| {
+                let mut sum = 0u64;
+                for s in &dataset {
+                    sum += u64::from(query.hamming_unchecked(s));
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sketch_construction,
+    bench_hamming,
+    bench_hamming_scan
+);
+criterion_main!(benches);

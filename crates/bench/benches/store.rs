@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the metadata store: commit throughput under the
+//! two durability policies, and recovery/checkpoint cost (paper §4.1.3's
+//! performance/durability trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use ferret_store::{Database, DbOptions, Durability};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ferret-bench-store-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_commit");
+    group.sample_size(20);
+    for (label, durability) in [
+        ("buffered", Durability::Buffered { flush_every: 256 }),
+        ("sync_every_commit", Durability::Sync),
+    ] {
+        let dir = tmpdir(label);
+        let mut db = Database::open_with(
+            &dir,
+            DbOptions {
+                durability,
+                checkpoint_every: None,
+            },
+        )
+        .unwrap();
+        let value = vec![0xABu8; 256];
+        let mut key = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                key += 1;
+                db.put("bench", &key.to_le_bytes(), black_box(&value)).unwrap();
+            });
+        });
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_open_with_recovery");
+    group.sample_size(10);
+    for records in [1_000usize, 10_000] {
+        let dir = tmpdir(&format!("recover-{records}"));
+        {
+            let mut db = Database::open_with(
+                &dir,
+                DbOptions {
+                    durability: Durability::Buffered { flush_every: 1024 },
+                    checkpoint_every: None,
+                },
+            )
+            .unwrap();
+            let value = vec![0x5Au8; 128];
+            for i in 0..records as u64 {
+                db.put("bench", &i.to_le_bytes(), &value).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        group.bench_function(BenchmarkId::from_parameter(records), |b| {
+            b.iter(|| {
+                let db = Database::open(black_box(&dir)).unwrap();
+                black_box(db.table_len("bench"))
+            });
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_throughput, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Ablations of the toolkit's design choices (not a paper table; supports
+//! the design discussion in §4.1.1 and §4.2.2).
+//!
+//! Three sweeps on the VARY-like image benchmark:
+//!
+//! 1. **XOR-fold `K`** — the sketch threshold control. `K > 1` dampens
+//!    large distances; the paper argues this limits the effect of outlier
+//!    segments.
+//! 2. **Ranking method** — exact EMD vs thresholded EMD (with and without
+//!    square-root weighting) vs the greedy upper bound: quality and cost
+//!    of the object distance choices.
+//! 3. **Filter parameters** — the `r` (query segments) × `cand`
+//!    (candidates per segment) grid: retrieval quality vs the number of
+//!    expensive object-distance evaluations.
+
+use std::time::Instant;
+
+use ferret_bench::{index_dataset, BenchArgs};
+use ferret_core::engine::{EngineConfig, QueryOptions, RankingMethod};
+use ferret_core::filter::FilterParams;
+use ferret_datatypes::image::{generate_vary_dataset, image_sketch_params, VaryConfig};
+use ferret_eval::{format_duration, format_score, run_suite, BenchmarkSuite, TextTable};
+
+fn main() {
+    let args = BenchArgs::parse(1.0);
+    let cfg = VaryConfig {
+        num_sets: 32,
+        set_size: 5,
+        num_distractors: args.scaled(600, 60),
+        raster_size: 48,
+        noise: 0.02,
+        seed: args.seed,
+    };
+    eprintln!(
+        "[ablation] generating image benchmark ({} images)...",
+        cfg.num_sets * cfg.set_size + cfg.num_distractors
+    );
+    let dataset = generate_vary_dataset(&cfg);
+    let suite = BenchmarkSuite::from_sets(&dataset.similarity_sets);
+
+    // ---- 1. XOR-fold K sweep at fixed 96-bit sketches. ----
+    println!("\nAblation 1: sketch threshold control K (96-bit sketches, sketch-only ranking):\n");
+    let mut t = TextTable::new(vec!["K", "AvgPrec", "1stTier", "2ndTier"]);
+    for k in [1usize, 2, 3, 4, 6] {
+        let mut config = EngineConfig::basic(image_sketch_params(96, k), args.seed ^ k as u64);
+        config.ranking = RankingMethod::Emd;
+        let engine = index_dataset(&dataset, config);
+        let r = run_suite(&engine, &suite, &QueryOptions::brute_force_sketch(10))
+            .expect("K sweep");
+        t.row(vec![
+            k.to_string(),
+            format_score(r.quality.average_precision),
+            format_score(r.quality.first_tier),
+            format_score(r.quality.second_tier),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- 2. Ranking method ablation (brute force over originals). ----
+    println!("Ablation 2: object distance for ranking (brute force over originals):\n");
+    let mut t = TextTable::new(vec!["Ranking", "AvgPrec", "1stTier", "MeanQuery"]);
+    let methods: Vec<(&str, RankingMethod)> = vec![
+        ("exact EMD", RankingMethod::Emd),
+        (
+            "thresholded EMD (tau=4)",
+            RankingMethod::ThresholdedEmd {
+                tau: 4.0,
+                sqrt_weights: false,
+            },
+        ),
+        (
+            "thresholded EMD + sqrt weights",
+            RankingMethod::ThresholdedEmd {
+                tau: 4.0,
+                sqrt_weights: true,
+            },
+        ),
+        ("greedy EMD", RankingMethod::GreedyEmd),
+    ];
+    for (label, method) in methods {
+        let mut config = EngineConfig::basic(image_sketch_params(96, 2), args.seed ^ 11);
+        config.ranking = method;
+        let engine = index_dataset(&dataset, config);
+        let start = Instant::now();
+        let r = run_suite(&engine, &suite, &QueryOptions::brute_force(10)).expect("ranking");
+        let elapsed = start.elapsed() / suite.len() as u32;
+        t.row(vec![
+            label.to_string(),
+            format_score(r.quality.average_precision),
+            format_score(r.quality.first_tier),
+            format_duration(elapsed),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- 3. Filter parameter grid. ----
+    println!("Ablation 3: filtering parameters (thresholded-EMD ranking):\n");
+    let mut t = TextTable::new(vec!["r", "cand", "AvgPrec", "EvalsPerQuery", "MeanQuery"]);
+    for r_segs in [1usize, 2, 4] {
+        for cand in [10usize, 40, 160] {
+            let mut config = EngineConfig::basic(image_sketch_params(96, 2), args.seed ^ 13);
+            config.ranking = RankingMethod::ThresholdedEmd {
+                tau: 4.0,
+                sqrt_weights: true,
+            };
+            let engine = index_dataset(&dataset, config);
+            let options = QueryOptions::filtering(
+                10,
+                FilterParams {
+                    query_segments: r_segs,
+                    candidates_per_segment: cand,
+                    ..FilterParams::default()
+                },
+            );
+            let r = run_suite(&engine, &suite, &options).expect("filter grid");
+            t.row(vec![
+                r_segs.to_string(),
+                cand.to_string(),
+                format_score(r.quality.average_precision),
+                format!("{:.1}", r.avg_distance_evals),
+                format_duration(r.timing.mean),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("expected shapes — K: moderate K (2-3) beats K=1 by damping outliers and");
+    println!("very large K degrades (information loss); ranking: thresholding + sqrt");
+    println!("weights beats plain EMD on subject-matching data, greedy trails slightly;");
+    println!("filter grid: quality saturates with r and cand while evals grow.");
+}

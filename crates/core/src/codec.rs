@@ -1,0 +1,173 @@
+//! Binary serialization of core types.
+//!
+//! Used by the metadata layer to persist feature vectors and sketches.
+//! All integers are little-endian; formats are length-checked and reject
+//! trailing bytes.
+
+use crate::error::{CoreError, Result};
+use crate::object::DataObject;
+use crate::sketch::{BitVec, SketchedObject};
+use crate::vector::FeatureVector;
+
+fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if bytes.len() < n {
+        return Err(CoreError::Extraction(format!(
+            "truncated object bytes: wanted {n}, have {}",
+            bytes.len()
+        )));
+    }
+    let (head, tail) = bytes.split_at(n);
+    *bytes = tail;
+    Ok(head)
+}
+
+fn get_u32(bytes: &mut &[u8]) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(bytes, 4)?.try_into().expect("len")))
+}
+
+fn get_f32(bytes: &mut &[u8]) -> Result<f32> {
+    Ok(f32::from_le_bytes(take(bytes, 4)?.try_into().expect("len")))
+}
+
+/// Serializes a [`DataObject`]: `dim, k`, then per segment `weight` and
+/// `dim` components.
+pub fn encode_object(obj: &DataObject) -> Vec<u8> {
+    let dim = obj.dim();
+    let k = obj.num_segments();
+    let mut out = Vec::with_capacity(8 + k * (4 + dim * 4));
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    for seg in obj.segments() {
+        out.extend_from_slice(&seg.weight.to_le_bytes());
+        for &c in seg.vector.components() {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a [`DataObject`] from [`encode_object`] bytes.
+pub fn decode_object(mut bytes: &[u8]) -> Result<DataObject> {
+    let dim = get_u32(&mut bytes)? as usize;
+    let k = get_u32(&mut bytes)? as usize;
+    if dim == 0 || k == 0 {
+        return Err(CoreError::EmptyObject);
+    }
+    if k > 1 << 24 || dim > 1 << 24 {
+        return Err(CoreError::Extraction("implausible object header".into()));
+    }
+    let mut parts = Vec::with_capacity(k);
+    for _ in 0..k {
+        let weight = get_f32(&mut bytes)?;
+        let mut components = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            components.push(get_f32(&mut bytes)?);
+        }
+        parts.push((FeatureVector::new(components)?, weight));
+    }
+    if !bytes.is_empty() {
+        return Err(CoreError::Extraction("trailing object bytes".into()));
+    }
+    DataObject::new(parts)
+}
+
+/// Serializes a [`SketchedObject`]: `k`, then per segment `weight` and the
+/// sketch bytes (length-prefixed).
+pub fn encode_sketched(so: &SketchedObject) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(so.num_segments() as u32).to_le_bytes());
+    for (w, s) in so.weights.iter().zip(so.sketches.iter()) {
+        out.extend_from_slice(&w.to_le_bytes());
+        let bytes = s.to_bytes();
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Deserializes a [`SketchedObject`] from [`encode_sketched`] bytes.
+pub fn decode_sketched(mut bytes: &[u8]) -> Result<SketchedObject> {
+    let k = get_u32(&mut bytes)? as usize;
+    if k == 0 {
+        return Err(CoreError::EmptyObject);
+    }
+    if k > 1 << 24 {
+        return Err(CoreError::Extraction("implausible sketch header".into()));
+    }
+    let mut weights = Vec::with_capacity(k);
+    let mut sketches = Vec::with_capacity(k);
+    for _ in 0..k {
+        weights.push(get_f32(&mut bytes)?);
+        let len = get_u32(&mut bytes)? as usize;
+        let raw = take(&mut bytes, len)?;
+        sketches.push(BitVec::from_bytes(raw)?);
+    }
+    if !bytes.is_empty() {
+        return Err(CoreError::Extraction("trailing sketch bytes".into()));
+    }
+    Ok(SketchedObject { weights, sketches })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> DataObject {
+        DataObject::new(vec![
+            (FeatureVector::new(vec![0.25, -1.5, 3.0]).unwrap(), 1.0),
+            (FeatureVector::new(vec![9.0, 0.0, -0.125]).unwrap(), 3.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn object_roundtrip() {
+        let o = obj();
+        let bytes = encode_object(&o);
+        let back = decode_object(&bytes).unwrap();
+        assert_eq!(o, back);
+    }
+
+    #[test]
+    fn object_rejects_garbage() {
+        assert!(decode_object(&[]).is_err());
+        let bytes = encode_object(&obj());
+        assert!(decode_object(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_object(&extra).is_err());
+        // Implausible header.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_object(&bad).is_err());
+    }
+
+    #[test]
+    fn sketched_roundtrip() {
+        let so = SketchedObject {
+            weights: vec![0.25, 0.75],
+            sketches: vec![
+                BitVec::from_bits(&[true, false, true]),
+                BitVec::from_bits(&[false; 96]),
+            ],
+        };
+        let bytes = encode_sketched(&so);
+        let back = decode_sketched(&bytes).unwrap();
+        assert_eq!(so, back);
+    }
+
+    #[test]
+    fn sketched_rejects_garbage() {
+        assert!(decode_sketched(&[]).is_err());
+        let so = SketchedObject {
+            weights: vec![1.0],
+            sketches: vec![BitVec::from_bits(&[true; 64])],
+        };
+        let bytes = encode_sketched(&so);
+        assert!(decode_sketched(&bytes[..bytes.len() - 2]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(7);
+        assert!(decode_sketched(&extra).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Hamming-based distances on sketches.
+//!
+//! The filtering unit streams sketches and compares them with "an extremely
+//! fast distance function such as Hamming distance" (paper §4.1.1). When the
+//! engine ranks with sketches only (`BruteForceSketch`), Hamming distances
+//! are rescaled to the ℓ₁ scale so thresholds carry over.
+
+use crate::error::Result;
+use crate::sketch::BitVec;
+
+/// A distance function between two sketches.
+pub trait SketchDistance: Send + Sync {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the distance between two sketches of equal length.
+    fn eval(&self, a: &BitVec, b: &BitVec) -> f64;
+
+    /// Checked evaluation.
+    fn distance(&self, a: &BitVec, b: &BitVec) -> Result<f64> {
+        let _ = a.hamming(b)?; // Length check.
+        Ok(self.eval(a, b))
+    }
+}
+
+/// Plain Hamming distance (number of differing bits).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming;
+
+impl SketchDistance for Hamming {
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+
+    fn eval(&self, a: &BitVec, b: &BitVec) -> f64 {
+        f64::from(a.hamming_unchecked(b))
+    }
+}
+
+/// Hamming distance scaled by a constant factor.
+///
+/// With `scale = 1 / hamming_per_l1` (see
+/// [`crate::sketch::SketchBuilder::hamming_per_l1`]) this estimates the
+/// original weighted ℓ₁ distance from the sketches.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledHamming {
+    scale: f64,
+}
+
+impl ScaledHamming {
+    /// Creates a scaled Hamming distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Self { scale }
+    }
+
+    /// The scale factor applied to the raw Hamming distance.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl SketchDistance for ScaledHamming {
+    fn name(&self) -> &'static str {
+        "scaled-hamming"
+    }
+
+    fn eval(&self, a: &BitVec, b: &BitVec) -> f64 {
+        f64::from(a.hamming_unchecked(b)) * self.scale
+    }
+}
+
+/// Normalized Hamming distance: the fraction of differing bits in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedHamming;
+
+impl SketchDistance for NormalizedHamming {
+    fn name(&self) -> &'static str {
+        "normalized-hamming"
+    }
+
+    fn eval(&self, a: &BitVec, b: &BitVec) -> f64 {
+        if a.is_empty() {
+            return 0.0;
+        }
+        f64::from(a.hamming_unchecked(b)) / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_matches_bitvec() {
+        let a = BitVec::from_bits(&[true, false, true, true]);
+        let b = BitVec::from_bits(&[false, false, true, false]);
+        assert_eq!(Hamming.eval(&a, &b), 2.0);
+        assert_eq!(Hamming.distance(&a, &b).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn distance_checks_lengths() {
+        let a = BitVec::zeros(8);
+        let b = BitVec::zeros(9);
+        assert!(Hamming.distance(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scaled_hamming_applies_scale() {
+        let a = BitVec::from_bits(&[true, true, false, false]);
+        let b = BitVec::from_bits(&[false, false, false, false]);
+        assert_eq!(ScaledHamming::new(0.5).eval(&a, &b), 1.0);
+        assert_eq!(ScaledHamming::new(0.5).scale(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_hamming_rejects_zero_scale() {
+        let _ = ScaledHamming::new(0.0);
+    }
+
+    #[test]
+    fn normalized_hamming_is_fraction() {
+        let a = BitVec::from_bits(&[true, false, true, false]);
+        let b = BitVec::from_bits(&[false, false, true, false]);
+        assert_eq!(NormalizedHamming.eval(&a, &b), 0.25);
+        let e = BitVec::zeros(0);
+        assert_eq!(NormalizedHamming.eval(&e, &e), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Histogram distances, common plug-in choices for CBIR feature vectors.
+//!
+//! Region features are often distributions (color histograms, mel-energy
+//! profiles). Beyond ℓ_p norms, two classic comparisons are the χ²
+//! distance and histogram intersection; both are available as segment
+//! distance plug-ins (paper §4.2.2 lets users "define herself" the segment
+//! distance function).
+
+use super::SegmentDistance;
+
+/// The (symmetrized) χ² distance:
+/// `½ Σ_i (x_i − y_i)² / (x_i + y_i)` over non-negative bins.
+///
+/// Bins where `x_i + y_i ≤ 0` contribute nothing. Negative inputs are
+/// clamped to zero (histograms are non-negative by construction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChiSquare;
+
+impl SegmentDistance for ChiSquare {
+    fn name(&self) -> &'static str {
+        "chi-square"
+    }
+
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut sum = 0.0f64;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let x = f64::from(x).max(0.0);
+            let y = f64::from(y).max(0.0);
+            let denom = x + y;
+            if denom > 0.0 {
+                let d = x - y;
+                sum += d * d / denom;
+            }
+        }
+        0.5 * sum
+    }
+}
+
+/// Histogram intersection distance:
+/// `1 − Σ_i min(x_i, y_i) / min(Σ x, Σ y)`.
+///
+/// 0 when one histogram is contained in the other, 1 when the supports are
+/// disjoint. Zero-mass inputs are at distance 1 from everything except
+/// another zero-mass input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramIntersection;
+
+impl SegmentDistance for HistogramIntersection {
+    fn name(&self) -> &'static str {
+        "histogram-intersection"
+    }
+
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut overlap = 0.0f64;
+        let mut sum_a = 0.0f64;
+        let mut sum_b = 0.0f64;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let x = f64::from(x).max(0.0);
+            let y = f64::from(y).max(0.0);
+            overlap += x.min(y);
+            sum_a += x;
+            sum_b += y;
+        }
+        let denom = sum_a.min(sum_b);
+        if denom <= 0.0 {
+            return if sum_a == sum_b { 0.0 } else { 1.0 };
+        }
+        1.0 - (overlap / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi_square_basics() {
+        let a = [0.5f32, 0.5, 0.0];
+        let b = [0.5f32, 0.0, 0.5];
+        // Bins 2 and 3: (0.5)^2 / 0.5 each = 0.5 + 0.5, halved = 0.5.
+        assert!((ChiSquare.eval(&a, &b) - 0.5).abs() < 1e-9);
+        assert_eq!(ChiSquare.eval(&a, &a), 0.0);
+        assert_eq!(ChiSquare.name(), "chi-square");
+    }
+
+    #[test]
+    fn chi_square_symmetric_and_nonnegative() {
+        let a = [0.1f32, 0.7, 0.2];
+        let b = [0.3f32, 0.3, 0.4];
+        let d1 = ChiSquare.eval(&a, &b);
+        let d2 = ChiSquare.eval(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn chi_square_ignores_empty_bins_and_clamps_negatives() {
+        assert_eq!(ChiSquare.eval(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        // Negative values treated as zero.
+        assert_eq!(ChiSquare.eval(&[-1.0, 0.5], &[-1.0, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn intersection_basics() {
+        let a = [0.5f32, 0.5, 0.0];
+        assert_eq!(HistogramIntersection.eval(&a, &a), 0.0);
+        // Disjoint supports.
+        let b = [0.0f32, 0.0, 1.0];
+        assert_eq!(HistogramIntersection.eval(&a, &b), 1.0);
+        // Containment: b inside a.
+        let c = [0.25f32, 0.25, 0.0];
+        assert!(HistogramIntersection.eval(&a, &c) < 1e-9);
+    }
+
+    #[test]
+    fn intersection_partial_overlap() {
+        let a = [0.5f32, 0.5];
+        let b = [0.5f32, 0.0];
+        // Overlap 0.5, min mass 0.5 -> distance 0.
+        assert!(HistogramIntersection.eval(&a, &b) < 1e-9);
+        let c = [0.25f32, 0.25];
+        let d = [0.0f32, 0.25];
+        // Overlap 0.25 of min mass 0.25 -> 0; change d to [0.25, 0] vs c?
+        assert!(HistogramIntersection.eval(&c, &d) < 1e-9);
+        // Genuine partial overlap.
+        let e = [0.6f32, 0.4];
+        let f = [0.4f32, 0.6];
+        let dist = HistogramIntersection.eval(&e, &f);
+        assert!((dist - 0.2).abs() < 1e-6, "got {dist}");
+    }
+
+    #[test]
+    fn intersection_zero_mass() {
+        assert_eq!(HistogramIntersection.eval(&[0.0], &[0.0]), 0.0);
+        assert_eq!(HistogramIntersection.eval(&[0.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn intersection_symmetric() {
+        let a = [0.2f32, 0.3, 0.5];
+        let b = [0.5f32, 0.1, 0.4];
+        assert!(
+            (HistogramIntersection.eval(&a, &b) - HistogramIntersection.eval(&b, &a)).abs()
+                < 1e-12
+        );
+    }
+}

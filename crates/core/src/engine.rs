@@ -1,0 +1,947 @@
+//! The core similarity search engine (paper §4.1.1).
+//!
+//! The engine owns the sketch construction unit, the (optional) feature
+//! vector metadata, the sketch database, the filtering unit and the ranking
+//! unit. It supports the three query approaches evaluated in the paper
+//! (§6.3.3): `BruteForceOriginal`, `BruteForceSketch`, and `Filtering`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::distance::emd::{emd_with_costs, greedy_emd_with_costs, Emd, GreedyEmd, ThresholdedEmd};
+use crate::distance::{ObjectDistance, SegmentDistance};
+use crate::error::{CoreError, Result};
+use crate::filter::{filter_candidates, FilterParams};
+use crate::object::{DataObject, ObjectId};
+use crate::rank::{rank_candidates, rank_scores, SearchResult};
+use crate::sketch::{SketchBuilder, SketchParams, SketchedObject};
+
+/// How a query traverses the dataset (paper §6.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMode {
+    /// Compute the object distance to every object using original feature
+    /// vectors. Most accurate, slowest, requires stored originals.
+    BruteForceOriginal,
+    /// Compute the object distance to every object using sketches only
+    /// (segment distances estimated by scaled Hamming distance).
+    BruteForceSketch,
+    /// Sketch-based filtering to a small candidate set, then accurate
+    /// ranking of the candidates.
+    Filtering,
+}
+
+impl std::fmt::Display for QueryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueryMode::BruteForceOriginal => "brute-force-original",
+            QueryMode::BruteForceSketch => "brute-force-sketch",
+            QueryMode::Filtering => "filtering",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The object distance used by the ranking unit.
+#[derive(Clone)]
+pub enum RankingMethod {
+    /// Exact Earth Mover's Distance over the segment distance.
+    Emd,
+    /// EMD with ground distances clamped at `tau` and optional square-root
+    /// weight transformation (the improved EMD of CIKM'04, paper §4.2.2).
+    ThresholdedEmd {
+        /// Ground-distance clamp, in segment-distance units.
+        tau: f64,
+        /// Apply the square-root weighting transform before matching.
+        sqrt_weights: bool,
+    },
+    /// Greedy EMD approximation (upper bound, faster).
+    GreedyEmd,
+    /// A user-supplied object distance; only usable with stored originals
+    /// (`BruteForceOriginal` or the ranking phase of `Filtering`).
+    Custom(Arc<dyn ObjectDistance>),
+}
+
+impl std::fmt::Debug for RankingMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankingMethod::Emd => write!(f, "Emd"),
+            RankingMethod::ThresholdedEmd { tau, sqrt_weights } => {
+                write!(f, "ThresholdedEmd {{ tau: {tau}, sqrt_weights: {sqrt_weights} }}")
+            }
+            RankingMethod::GreedyEmd => write!(f, "GreedyEmd"),
+            RankingMethod::Custom(d) => write!(f, "Custom({})", d.name()),
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Sketch construction parameters (`N`, `K`, per-dimension ranges).
+    pub sketch: SketchParams,
+    /// Seed for the sketch construction unit's random `(i, t)` pairs.
+    pub seed: u64,
+    /// The segment distance function (used for original-vector EMD grounds).
+    pub seg_distance: Arc<dyn SegmentDistance>,
+    /// The object distance used by the ranking unit.
+    pub ranking: RankingMethod,
+    /// Keep original feature vectors in memory. When `false` the engine is
+    /// sketch-only ("users have the option to use compact sketches as the
+    /// only internal data structures", §4.1.1); `BruteForceOriginal` queries
+    /// are then rejected and `Filtering` ranks with sketches.
+    pub store_originals: bool,
+}
+
+impl EngineConfig {
+    /// Conventional configuration: ℓ₁ segment distance, exact EMD ranking,
+    /// originals stored.
+    pub fn basic(sketch: SketchParams, seed: u64) -> Self {
+        Self {
+            sketch,
+            seed,
+            seg_distance: Arc::new(crate::distance::lp::L1),
+            ranking: RankingMethod::Emd,
+            store_originals: true,
+        }
+    }
+}
+
+/// Per-query options.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Number of results to return.
+    pub k: usize,
+    /// Query traversal mode.
+    pub mode: QueryMode,
+    /// Filtering parameters (used only in [`QueryMode::Filtering`]).
+    pub filter: FilterParams,
+    /// Restrict the search to these objects (e.g. the result of an
+    /// attribute-based search, paper §4.1.2). `None` searches everything.
+    pub restrict: Option<HashSet<ObjectId>>,
+    /// Override the query object's segment weights ("adjusted weights for
+    /// feature vectors", paper §4.1.4). Must match the query's segment
+    /// count; weights are re-normalized.
+    pub weight_override: Option<Vec<f32>>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            mode: QueryMode::Filtering,
+            filter: FilterParams::default(),
+            restrict: None,
+            weight_override: None,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options for a brute-force query over the original feature vectors.
+    pub fn brute_force(k: usize) -> Self {
+        Self {
+            k,
+            mode: QueryMode::BruteForceOriginal,
+            ..Self::default()
+        }
+    }
+
+    /// Options for a brute-force query over sketches.
+    pub fn brute_force_sketch(k: usize) -> Self {
+        Self {
+            k,
+            mode: QueryMode::BruteForceSketch,
+            ..Self::default()
+        }
+    }
+
+    /// Options for a filtered query.
+    pub fn filtering(k: usize, filter: FilterParams) -> Self {
+        Self {
+            k,
+            mode: QueryMode::Filtering,
+            filter,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics collected while answering one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The traversal mode used.
+    pub mode: QueryMode,
+    /// Objects visited during filtering or brute-force scanning.
+    pub objects_scanned: usize,
+    /// Segment sketches compared during filtering.
+    pub segments_scanned: usize,
+    /// Objects whose object distance to the query was evaluated.
+    pub distance_evals: usize,
+    /// Wall-clock time for the query.
+    pub elapsed: Duration,
+}
+
+/// A query answer: ranked results plus statistics.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Ranked results, closest first.
+    pub results: Vec<SearchResult>,
+    /// Query execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Size of the engine's metadata, for storage-ratio reporting (Table 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetadataFootprint {
+    /// Bytes of original feature-vector metadata (4 bytes per component).
+    pub feature_vector_bytes: usize,
+    /// Bytes of sketch metadata (packed bits).
+    pub sketch_bytes: usize,
+    /// Total number of segments stored.
+    pub segments: usize,
+}
+
+impl MetadataFootprint {
+    /// Feature-vector to sketch size ratio (`0.0` if no sketches).
+    pub fn ratio(&self) -> f64 {
+        if self.sketch_bytes == 0 {
+            0.0
+        } else {
+            self.feature_vector_bytes as f64 / self.sketch_bytes as f64
+        }
+    }
+}
+
+/// The core similarity search engine.
+pub struct SearchEngine {
+    builder: SketchBuilder,
+    /// Cached `1 / hamming_per_l1`, the sketch-to-l1 scale factor.
+    sketch_scale: f64,
+    seg_distance: Arc<dyn SegmentDistance>,
+    ranking: RankingMethod,
+    store_originals: bool,
+    /// Insertion order, for deterministic scans.
+    order: Vec<ObjectId>,
+    objects: HashMap<ObjectId, DataObject>,
+    sketches: HashMap<ObjectId, SketchedObject>,
+}
+
+impl SearchEngine {
+    /// Creates an empty engine from a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let builder = SketchBuilder::new(config.sketch, config.seed);
+        let sketch_scale = 1.0 / builder.hamming_per_l1();
+        Self {
+            builder,
+            sketch_scale,
+            seg_distance: config.seg_distance,
+            ranking: config.ranking,
+            store_originals: config.store_originals,
+            order: Vec::new(),
+            objects: HashMap::new(),
+            sketches: HashMap::new(),
+        }
+    }
+
+    /// The engine's sketch construction unit.
+    pub fn sketch_builder(&self) -> &SketchBuilder {
+        &self.builder
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the engine holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// True if `id` is stored.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.sketches.contains_key(&id)
+    }
+
+    /// Object ids in insertion order.
+    pub fn ids(&self) -> &[ObjectId] {
+        &self.order
+    }
+
+    /// The original object, if originals are stored.
+    pub fn object(&self, id: ObjectId) -> Option<&DataObject> {
+        self.objects.get(&id)
+    }
+
+    /// The sketched form of an object.
+    pub fn sketched(&self, id: ObjectId) -> Option<&SketchedObject> {
+        self.sketches.get(&id)
+    }
+
+    /// Inserts an object: sketches every segment and stores the metadata.
+    pub fn insert(&mut self, id: ObjectId, object: DataObject) -> Result<()> {
+        if self.sketches.contains_key(&id) {
+            return Err(CoreError::DuplicateObject(id.0));
+        }
+        if object.dim() != self.builder.params().dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.builder.params().dim(),
+                actual: object.dim(),
+            });
+        }
+        let sketched = self.builder.sketch_object(&object)?;
+        self.sketches.insert(id, sketched);
+        if self.store_originals {
+            self.objects.insert(id, object);
+        }
+        self.order.push(id);
+        Ok(())
+    }
+
+    /// Removes an object; returns `true` if it was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let present = self.sketches.remove(&id).is_some();
+        self.objects.remove(&id);
+        if present {
+            self.order.retain(|&x| x != id);
+        }
+        present
+    }
+
+    /// Sketches a query object with the engine's construction unit.
+    pub fn sketch_query(&self, query: &DataObject) -> Result<SketchedObject> {
+        self.builder.sketch_object(query)
+    }
+
+    /// Derives sketch parameters from the stored feature vectors
+    /// (per-dimension min/max), keeping `nbits`/`xor_folds` as given.
+    /// Requires stored originals and at least one object.
+    pub fn derive_sketch_params(&self, nbits: usize, xor_folds: usize) -> Result<SketchParams> {
+        if !self.store_originals {
+            return Err(CoreError::InvalidQuery(
+                "engine is sketch-only; cannot derive parameters".into(),
+            ));
+        }
+        let vectors = self
+            .order
+            .iter()
+            .filter_map(|id| self.objects.get(id))
+            .flat_map(|o| o.segments().iter().map(|s| &s.vector));
+        SketchParams::from_samples(nbits, xor_folds, vectors)
+    }
+
+    /// Rebuilds the engine with new sketch parameters, re-sketching every
+    /// stored object (the parameter-tuning loop of paper §4.3). Requires
+    /// stored originals.
+    pub fn rebuild(&self, sketch: SketchParams, seed: u64) -> Result<SearchEngine> {
+        if !self.store_originals {
+            return Err(CoreError::InvalidQuery(
+                "engine is sketch-only; cannot rebuild".into(),
+            ));
+        }
+        let mut rebuilt = SearchEngine::new(EngineConfig {
+            sketch,
+            seed,
+            seg_distance: Arc::clone(&self.seg_distance),
+            ranking: self.ranking.clone(),
+            store_originals: true,
+        });
+        for &id in &self.order {
+            let obj = self.objects.get(&id).expect("originals stored").clone();
+            rebuilt.insert(id, obj)?;
+        }
+        Ok(rebuilt)
+    }
+
+    /// Current metadata footprint (for storage-ratio reporting).
+    pub fn metadata_footprint(&self) -> MetadataFootprint {
+        let mut fp = MetadataFootprint::default();
+        for so in self.sketches.values() {
+            fp.segments += so.num_segments();
+            for s in &so.sketches {
+                fp.sketch_bytes += s.len().div_ceil(8);
+            }
+        }
+        if self.store_originals {
+            for obj in self.objects.values() {
+                for seg in obj.segments() {
+                    fp.feature_vector_bytes += seg.vector.dim() * std::mem::size_of::<f32>();
+                }
+            }
+        } else {
+            // Originals not stored: report what they would occupy.
+            let dim = self.builder.params().dim();
+            fp.feature_vector_bytes = fp.segments * dim * std::mem::size_of::<f32>();
+        }
+        fp
+    }
+
+    /// Rebuilds a query object with overridden segment weights.
+    fn apply_weight_override(query: &DataObject, weights: &[f32]) -> Result<DataObject> {
+        if weights.len() != query.num_segments() {
+            return Err(CoreError::InvalidQuery(format!(
+                "weight override has {} entries for {} query segments",
+                weights.len(),
+                query.num_segments()
+            )));
+        }
+        DataObject::new(
+            query
+                .segments()
+                .iter()
+                .zip(weights.iter())
+                .map(|(seg, &w)| (seg.vector.clone(), w))
+                .collect(),
+        )
+    }
+
+    /// Answers a similarity query.
+    pub fn query(&self, query: &DataObject, options: &QueryOptions) -> Result<QueryResponse> {
+        if options.k == 0 {
+            return Err(CoreError::InvalidQuery("k must be > 0".into()));
+        }
+        let reweighted;
+        let query = match &options.weight_override {
+            Some(weights) => {
+                reweighted = Self::apply_weight_override(query, weights)?;
+                &reweighted
+            }
+            None => query,
+        };
+        let start = Instant::now();
+        let mut stats = QueryStats {
+            mode: options.mode,
+            objects_scanned: 0,
+            segments_scanned: 0,
+            distance_evals: 0,
+            elapsed: Duration::ZERO,
+        };
+        let results = match options.mode {
+            QueryMode::BruteForceOriginal => self.query_brute_original(query, options, &mut stats)?,
+            QueryMode::BruteForceSketch => self.query_brute_sketch(query, options, &mut stats)?,
+            QueryMode::Filtering => self.query_filtering(query, options, &mut stats)?,
+        };
+        stats.elapsed = start.elapsed();
+        Ok(QueryResponse { results, stats })
+    }
+
+    /// Answers a query using a stored object as the seed
+    /// ("similarity search requires a seed or initial query object", §4.1.2).
+    pub fn query_by_id(&self, id: ObjectId, options: &QueryOptions) -> Result<QueryResponse> {
+        match options.mode {
+            QueryMode::BruteForceSketch => {
+                // Sketch-only queries can be seeded without originals.
+                let mut seed = self
+                    .sketches
+                    .get(&id)
+                    .ok_or(CoreError::UnknownObject(id.0))?
+                    .clone();
+                if let Some(weights) = &options.weight_override {
+                    if weights.len() != seed.num_segments() {
+                        return Err(CoreError::InvalidQuery(format!(
+                            "weight override has {} entries for {} query segments",
+                            weights.len(),
+                            seed.num_segments()
+                        )));
+                    }
+                    let sum: f32 = weights.iter().sum();
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(CoreError::InvalidQuery(
+                            "weight override sums to zero".into(),
+                        ));
+                    }
+                    seed.weights = weights.iter().map(|w| w / sum).collect();
+                }
+                let start = Instant::now();
+                let mut stats = QueryStats {
+                    mode: options.mode,
+                    objects_scanned: 0,
+                    segments_scanned: 0,
+                    distance_evals: 0,
+                    elapsed: Duration::ZERO,
+                };
+                let results = self.rank_all_by_sketch(&seed, options, &mut stats)?;
+                stats.elapsed = start.elapsed();
+                Ok(QueryResponse { results, stats })
+            }
+            _ => {
+                let seed = self
+                    .objects
+                    .get(&id)
+                    .ok_or(CoreError::UnknownObject(id.0))?
+                    .clone();
+                self.query(&seed, options)
+            }
+        }
+    }
+
+    fn allowed(&self, id: ObjectId, options: &QueryOptions) -> bool {
+        options.restrict.as_ref().is_none_or(|set| set.contains(&id))
+    }
+
+    fn object_distance_original(&self) -> Result<Box<dyn ObjectDistance + '_>> {
+        let ground = Arc::clone(&self.seg_distance);
+        Ok(match &self.ranking {
+            RankingMethod::Emd => Box::new(Emd::new(ground)),
+            RankingMethod::ThresholdedEmd { tau, sqrt_weights } => {
+                Box::new(ThresholdedEmd::new(ground, *tau, *sqrt_weights))
+            }
+            RankingMethod::GreedyEmd => Box::new(GreedyEmd::new(ground)),
+            RankingMethod::Custom(d) => Box::new(Arc::clone(d)),
+        })
+    }
+
+    fn query_brute_original(
+        &self,
+        query: &DataObject,
+        options: &QueryOptions,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<SearchResult>> {
+        if !self.store_originals {
+            return Err(CoreError::InvalidQuery(
+                "engine is sketch-only; BruteForceOriginal unavailable".into(),
+            ));
+        }
+        let dist = self.object_distance_original()?;
+        let candidates = self.order.iter().filter_map(|&id| {
+            if !self.allowed(id, options) {
+                return None;
+            }
+            self.objects.get(&id).map(|o| (id, o))
+        });
+        let mut count = 0usize;
+        let collected: Vec<(ObjectId, &DataObject)> = candidates.inspect(|_| count += 1).collect();
+        stats.objects_scanned = collected.len();
+        stats.distance_evals = collected.len();
+        rank_candidates(query, collected, dist.as_ref(), options.k)
+    }
+
+    /// Object distance between two sketched objects: EMD over scaled
+    /// Hamming ground distances (the sketch estimate of the segment ℓ₁).
+    pub fn sketched_object_distance(
+        &self,
+        a: &SketchedObject,
+        b: &SketchedObject,
+    ) -> Result<f64> {
+        let scale = self.sketch_scale;
+        let ground = |i: usize, j: usize| {
+            f64::from(a.sketches[i].hamming_unchecked(&b.sketches[j])) * scale
+        };
+        // Single-segment objects: the object distance is the (scaled,
+        // possibly thresholded) segment Hamming distance; skip the solver.
+        if a.num_segments() == 1 && b.num_segments() == 1 {
+            return match &self.ranking {
+                RankingMethod::Emd | RankingMethod::GreedyEmd => Ok(ground(0, 0)),
+                RankingMethod::ThresholdedEmd { tau, .. } => Ok(ground(0, 0).min(*tau)),
+                RankingMethod::Custom(_) => Err(CoreError::InvalidQuery(
+                    "custom object distance cannot rank sketches".into(),
+                )),
+            };
+        }
+        match &self.ranking {
+            RankingMethod::Emd => emd_with_costs(&a.weights, &b.weights, ground),
+            RankingMethod::ThresholdedEmd { tau, sqrt_weights } => {
+                let wa = transform_weights(&a.weights, *sqrt_weights);
+                let wb = transform_weights(&b.weights, *sqrt_weights);
+                emd_with_costs(&wa, &wb, |i, j| ground(i, j).min(*tau))
+            }
+            RankingMethod::GreedyEmd => greedy_emd_with_costs(&a.weights, &b.weights, ground),
+            RankingMethod::Custom(_) => Err(CoreError::InvalidQuery(
+                "custom object distance cannot rank sketches".into(),
+            )),
+        }
+    }
+
+    fn rank_all_by_sketch(
+        &self,
+        query: &SketchedObject,
+        options: &QueryOptions,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<SearchResult>> {
+        // Sketch lengths must match the engine's.
+        for s in &query.sketches {
+            if s.len() != self.builder.nbits() {
+                return Err(CoreError::SketchLengthMismatch {
+                    left: s.len(),
+                    right: self.builder.nbits(),
+                });
+            }
+        }
+        let mut scored = Vec::new();
+        for &id in &self.order {
+            if !self.allowed(id, options) {
+                continue;
+            }
+            let so = self.sketches.get(&id).expect("order/sketches in sync");
+            stats.objects_scanned += 1;
+            stats.distance_evals += 1;
+            let d = self.sketched_object_distance(query, so)?;
+            scored.push(SearchResult { id, distance: d });
+        }
+        Ok(rank_scores(scored, options.k))
+    }
+
+    fn query_brute_sketch(
+        &self,
+        query: &DataObject,
+        options: &QueryOptions,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<SearchResult>> {
+        let qs = self.builder.sketch_object(query)?;
+        self.rank_all_by_sketch(&qs, options, stats)
+    }
+
+    fn query_filtering(
+        &self,
+        query: &DataObject,
+        options: &QueryOptions,
+        stats: &mut QueryStats,
+    ) -> Result<Vec<SearchResult>> {
+        let qs = self.builder.sketch_object(query)?;
+        let dataset = self.order.iter().filter_map(|&id| {
+            if !self.allowed(id, options) {
+                return None;
+            }
+            self.sketches.get(&id).map(|so| (id, so))
+        });
+        let (candidates, fstats) = filter_candidates(&qs, dataset, &options.filter)?;
+        stats.objects_scanned = fstats.objects_scanned;
+        stats.segments_scanned = fstats.segments_scanned;
+        stats.distance_evals = candidates.len();
+
+        if self.store_originals {
+            let dist = self.object_distance_original()?;
+            // Deterministic ranking order.
+            let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
+            cand_ids.sort();
+            let cands = cand_ids
+                .iter()
+                .filter_map(|&id| self.objects.get(&id).map(|o| (id, o)));
+            rank_candidates(query, cands, dist.as_ref(), options.k)
+        } else {
+            // Sketch-only engine: rank candidates by sketch distance.
+            let mut scored = Vec::new();
+            let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
+            cand_ids.sort();
+            for id in cand_ids {
+                let so = self.sketches.get(&id).expect("candidate exists");
+                let d = self.sketched_object_distance(&qs, so)?;
+                scored.push(SearchResult { id, distance: d });
+            }
+            Ok(rank_scores(scored, options.k))
+        }
+    }
+}
+
+fn transform_weights(weights: &[f32], sqrt: bool) -> Vec<f32> {
+    if !sqrt {
+        return weights.to_vec();
+    }
+    let sqrted: Vec<f64> = weights.iter().map(|&w| f64::from(w).sqrt()).collect();
+    let sum: f64 = sqrted.iter().sum();
+    if sum <= 0.0 {
+        return weights.to_vec();
+    }
+    sqrted.into_iter().map(|w| (w / sum) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FeatureVector;
+
+    fn params(nbits: usize, d: usize) -> SketchParams {
+        SketchParams::new(nbits, vec![0.0; d], vec![1.0; d]).unwrap()
+    }
+
+    fn obj(parts: &[(&[f32], f32)]) -> DataObject {
+        DataObject::new(
+            parts
+                .iter()
+                .map(|(c, w)| (FeatureVector::new(c.to_vec()).unwrap(), *w))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn engine(nbits: usize, d: usize) -> SearchEngine {
+        SearchEngine::new(EngineConfig::basic(params(nbits, d), 42))
+    }
+
+    /// A small clustered dataset: ids 0..3 near the query, 4..9 far away.
+    fn clustered_engine() -> (SearchEngine, DataObject) {
+        let mut e = engine(256, 4);
+        let query = obj(&[(&[0.1, 0.1, 0.1, 0.1], 0.5), (&[0.2, 0.2, 0.2, 0.2], 0.5)]);
+        for i in 0..4u64 {
+            let eps = i as f32 * 0.01;
+            e.insert(
+                ObjectId(i),
+                obj(&[
+                    (&[0.1 + eps, 0.1, 0.1, 0.1], 0.5),
+                    (&[0.2, 0.2 + eps, 0.2, 0.2], 0.5),
+                ]),
+            )
+            .unwrap();
+        }
+        for i in 4..10u64 {
+            let base = 0.6 + (i as f32 - 4.0) * 0.05;
+            e.insert(
+                ObjectId(i),
+                obj(&[(&[base, base, base, base], 0.5), (&[0.9, 0.9, 0.9, base], 0.5)]),
+            )
+            .unwrap();
+        }
+        (e, query)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut e = engine(64, 2);
+        let o = obj(&[(&[0.5, 0.5], 1.0)]);
+        e.insert(ObjectId(1), o.clone()).unwrap();
+        assert_eq!(e.len(), 1);
+        assert!(e.contains(ObjectId(1)));
+        assert_eq!(e.object(ObjectId(1)), Some(&o));
+        assert!(e.sketched(ObjectId(1)).is_some());
+        assert_eq!(e.ids(), &[ObjectId(1)]);
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_and_bad_dims() {
+        let mut e = engine(64, 2);
+        e.insert(ObjectId(1), obj(&[(&[0.5, 0.5], 1.0)])).unwrap();
+        assert!(matches!(
+            e.insert(ObjectId(1), obj(&[(&[0.4, 0.4], 1.0)])),
+            Err(CoreError::DuplicateObject(1))
+        ));
+        assert!(matches!(
+            e.insert(ObjectId(2), obj(&[(&[0.5], 1.0)])),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut e = engine(64, 2);
+        e.insert(ObjectId(1), obj(&[(&[0.5, 0.5], 1.0)])).unwrap();
+        assert!(e.remove(ObjectId(1)));
+        assert!(!e.remove(ObjectId(1)));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn brute_force_original_finds_nearest() {
+        let (e, q) = clustered_engine();
+        let resp = e.query(&q, &QueryOptions::brute_force(4)).unwrap();
+        let ids: HashSet<u64> = resp.results.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, HashSet::from([0, 1, 2, 3]));
+        assert_eq!(resp.stats.distance_evals, 10);
+        assert_eq!(resp.stats.mode, QueryMode::BruteForceOriginal);
+    }
+
+    #[test]
+    fn brute_force_sketch_finds_nearest() {
+        let (e, q) = clustered_engine();
+        let resp = e.query(&q, &QueryOptions::brute_force_sketch(4)).unwrap();
+        let ids: HashSet<u64> = resp.results.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, HashSet::from([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn filtering_finds_nearest() {
+        let (e, q) = clustered_engine();
+        let opts = QueryOptions::filtering(
+            4,
+            FilterParams {
+                query_segments: 2,
+                candidates_per_segment: 4,
+                ..FilterParams::default()
+            },
+        );
+        let resp = e.query(&q, &opts).unwrap();
+        let ids: HashSet<u64> = resp.results.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, HashSet::from([0, 1, 2, 3]));
+        // Filtering must not rank everything.
+        assert!(resp.stats.distance_evals < 10);
+        assert!(resp.stats.segments_scanned > 0);
+    }
+
+    #[test]
+    fn restrict_limits_search() {
+        let (e, q) = clustered_engine();
+        let mut opts = QueryOptions::brute_force(10);
+        opts.restrict = Some(HashSet::from([ObjectId(5), ObjectId(6)]));
+        let resp = e.query(&q, &opts).unwrap();
+        let ids: HashSet<u64> = resp.results.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, HashSet::from([5, 6]));
+    }
+
+    #[test]
+    fn query_by_id_uses_seed_object() {
+        let (e, _) = clustered_engine();
+        let resp = e
+            .query_by_id(ObjectId(0), &QueryOptions::brute_force(1))
+            .unwrap();
+        // The seed itself is its own nearest neighbor.
+        assert_eq!(resp.results[0].id, ObjectId(0));
+        assert!(resp.results[0].distance < 1e-9);
+        assert!(e
+            .query_by_id(ObjectId(99), &QueryOptions::brute_force(1))
+            .is_err());
+    }
+
+    #[test]
+    fn sketch_only_engine_rejects_brute_original() {
+        let mut cfg = EngineConfig::basic(params(128, 2), 1);
+        cfg.store_originals = false;
+        let mut e = SearchEngine::new(cfg);
+        e.insert(ObjectId(1), obj(&[(&[0.2, 0.2], 1.0)])).unwrap();
+        assert!(e.object(ObjectId(1)).is_none());
+        let q = obj(&[(&[0.2, 0.2], 1.0)]);
+        assert!(e.query(&q, &QueryOptions::brute_force(1)).is_err());
+        // Sketch and filtering modes still work.
+        assert!(e.query(&q, &QueryOptions::brute_force_sketch(1)).is_ok());
+        let resp = e
+            .query(&q, &QueryOptions::filtering(1, FilterParams::default()))
+            .unwrap();
+        assert_eq!(resp.results.len(), 1);
+    }
+
+    #[test]
+    fn k_zero_is_invalid() {
+        let (e, q) = clustered_engine();
+        let opts = QueryOptions {
+            k: 0,
+            ..QueryOptions::default()
+        };
+        assert!(e.query(&q, &opts).is_err());
+    }
+
+    #[test]
+    fn metadata_footprint_reports_ratio() {
+        let (e, _) = clustered_engine();
+        let fp = e.metadata_footprint();
+        assert_eq!(fp.segments, 20);
+        // 4 dims * 4 bytes = 16 bytes per vector; 256-bit sketch = 32 bytes.
+        assert_eq!(fp.feature_vector_bytes, 20 * 16);
+        assert_eq!(fp.sketch_bytes, 20 * 32);
+        assert!((fp.ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholded_ranking_works_in_all_modes() {
+        let mut cfg = EngineConfig::basic(params(256, 4), 3);
+        cfg.ranking = RankingMethod::ThresholdedEmd {
+            tau: 0.5,
+            sqrt_weights: true,
+        };
+        let mut e = SearchEngine::new(cfg);
+        for i in 0..5u64 {
+            let x = i as f32 * 0.2;
+            e.insert(ObjectId(i), obj(&[(&[x, x, x, x], 1.0)])).unwrap();
+        }
+        let q = obj(&[(&[0.0, 0.0, 0.0, 0.0], 1.0)]);
+        for mode in [
+            QueryMode::BruteForceOriginal,
+            QueryMode::BruteForceSketch,
+            QueryMode::Filtering,
+        ] {
+            let opts = QueryOptions {
+                mode,
+                k: 1,
+                ..QueryOptions::default()
+            };
+            let resp = e.query(&q, &opts).unwrap();
+            assert_eq!(resp.results[0].id, ObjectId(0), "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn custom_ranking_rejected_for_sketch_mode() {
+        let mut cfg = EngineConfig::basic(params(64, 2), 1);
+        cfg.ranking = RankingMethod::Custom(Arc::new(Emd::new(crate::distance::lp::L2)));
+        let mut e = SearchEngine::new(cfg);
+        e.insert(ObjectId(1), obj(&[(&[0.5, 0.5], 1.0)])).unwrap();
+        let q = obj(&[(&[0.5, 0.5], 1.0)]);
+        assert!(e.query(&q, &QueryOptions::brute_force_sketch(1)).is_err());
+        assert!(e.query(&q, &QueryOptions::brute_force(1)).is_ok());
+    }
+
+    #[test]
+    fn derive_and_rebuild() {
+        let (e, q) = clustered_engine();
+        let derived = e.derive_sketch_params(512, 2).unwrap();
+        assert_eq!(derived.dim(), 4);
+        assert!(derived.mins.iter().zip(derived.maxs.iter()).all(|(a, b)| a < b));
+        let rebuilt = e.rebuild(derived, 99).unwrap();
+        assert_eq!(rebuilt.len(), e.len());
+        // Data-derived ranges keep retrieval working.
+        let resp = rebuilt.query(&q, &QueryOptions::brute_force_sketch(4)).unwrap();
+        let ids: HashSet<u64> = resp.results.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, HashSet::from([0, 1, 2, 3]));
+        // Sketch-only engines cannot rebuild.
+        let mut cfg = EngineConfig::basic(params(64, 2), 1);
+        cfg.store_originals = false;
+        let sk = SearchEngine::new(cfg);
+        assert!(sk.derive_sketch_params(64, 1).is_err());
+        assert!(sk.rebuild(params(64, 2), 0).is_err());
+    }
+
+    #[test]
+    fn weight_override_changes_ranking() {
+        // Two stored objects match the query's two segments respectively;
+        // shifting the query weights flips which one ranks first.
+        let mut e = engine(512, 2);
+        e.insert(ObjectId(1), obj(&[(&[0.1, 0.1], 1.0)])).unwrap();
+        e.insert(ObjectId(2), obj(&[(&[0.9, 0.9], 1.0)])).unwrap();
+        let q = obj(&[(&[0.1, 0.1], 0.5), (&[0.9, 0.9], 0.5)]);
+        let mut opts = QueryOptions::brute_force(1);
+        opts.weight_override = Some(vec![1.0, 0.0]);
+        let resp = e.query(&q, &opts).unwrap();
+        assert_eq!(resp.results[0].id, ObjectId(1));
+        opts.weight_override = Some(vec![0.0, 1.0]);
+        let resp = e.query(&q, &opts).unwrap();
+        assert_eq!(resp.results[0].id, ObjectId(2));
+        // Mismatched length is rejected.
+        opts.weight_override = Some(vec![1.0]);
+        assert!(e.query(&q, &opts).is_err());
+    }
+
+    #[test]
+    fn weight_override_in_sketch_seeded_query() {
+        let mut e = engine(512, 2);
+        e.insert(
+            ObjectId(0),
+            obj(&[(&[0.1, 0.1], 0.5), (&[0.9, 0.9], 0.5)]),
+        )
+        .unwrap();
+        e.insert(ObjectId(1), obj(&[(&[0.1, 0.1], 1.0)])).unwrap();
+        e.insert(ObjectId(2), obj(&[(&[0.9, 0.9], 1.0)])).unwrap();
+        let mut opts = QueryOptions::brute_force_sketch(2);
+        opts.weight_override = Some(vec![1.0, 0.0]);
+        let resp = e.query_by_id(ObjectId(0), &opts).unwrap();
+        let top_non_self = resp.results.iter().find(|r| r.id != ObjectId(0)).unwrap();
+        assert_eq!(top_non_self.id, ObjectId(1));
+        opts.weight_override = Some(vec![0.0, 0.0]);
+        assert!(e.query_by_id(ObjectId(0), &opts).is_err());
+        opts.weight_override = Some(vec![1.0]);
+        assert!(e.query_by_id(ObjectId(0), &opts).is_err());
+    }
+
+    #[test]
+    fn sketch_distance_scaling_tracks_l1() {
+        // With many bits, the sketched object distance should approximate
+        // the true EMD/l1 distance reasonably well.
+        let mut e = SearchEngine::new(EngineConfig::basic(params(4096, 4), 9));
+        let a = obj(&[(&[0.2, 0.2, 0.2, 0.2], 1.0)]);
+        let b = obj(&[(&[0.4, 0.4, 0.4, 0.4], 1.0)]);
+        e.insert(ObjectId(1), b.clone()).unwrap();
+        let sa = e.sketch_query(&a).unwrap();
+        let sb = e.sketch_query(&b).unwrap();
+        let est = e.sketched_object_distance(&sa, &sb).unwrap();
+        // True l1 distance is 0.8.
+        assert!((est - 0.8).abs() < 0.15, "estimate {est}");
+    }
+}

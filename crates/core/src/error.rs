@@ -1,0 +1,89 @@
+//! Error types for the Ferret core engine.
+
+use std::fmt;
+
+/// Errors produced by the core similarity search engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A feature vector had a different dimensionality than expected.
+    DimensionMismatch {
+        /// The dimensionality the operation expected.
+        expected: usize,
+        /// The dimensionality that was actually supplied.
+        actual: usize,
+    },
+    /// An object was constructed with no segments.
+    EmptyObject,
+    /// Segment weights were invalid (negative, NaN, or summing to zero).
+    InvalidWeights(String),
+    /// Sketch parameters were invalid (zero bits, inverted min/max, ...).
+    InvalidSketchParams(String),
+    /// Two sketches of different lengths were compared.
+    SketchLengthMismatch {
+        /// Length in bits of the left-hand sketch.
+        left: usize,
+        /// Length in bits of the right-hand sketch.
+        right: usize,
+    },
+    /// A query referenced an object id that is not in the engine.
+    UnknownObject(u64),
+    /// An object id was inserted twice.
+    DuplicateObject(u64),
+    /// A query was issued with invalid options.
+    InvalidQuery(String),
+    /// A plug-in (segmentation / feature extraction) failed.
+    Extraction(String),
+    /// An I/O operation failed (out-of-core sketch database).
+    Io(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            CoreError::EmptyObject => write!(f, "object has no segments"),
+            CoreError::InvalidWeights(msg) => write!(f, "invalid segment weights: {msg}"),
+            CoreError::InvalidSketchParams(msg) => write!(f, "invalid sketch parameters: {msg}"),
+            CoreError::SketchLengthMismatch { left, right } => {
+                write!(f, "sketch length mismatch: {left} vs {right} bits")
+            }
+            CoreError::UnknownObject(id) => write!(f, "unknown object id {id}"),
+            CoreError::DuplicateObject(id) => write!(f, "duplicate object id {id}"),
+            CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            CoreError::Extraction(msg) => write!(f, "extraction failed: {msg}"),
+            CoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::DimensionMismatch {
+            expected: 14,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 14, got 3");
+        assert!(CoreError::UnknownObject(7).to_string().contains('7'));
+        assert!(CoreError::EmptyObject.to_string().contains("no segments"));
+        assert!(CoreError::SketchLengthMismatch { left: 96, right: 64 }
+            .to_string()
+            .contains("96"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&CoreError::EmptyObject);
+    }
+}

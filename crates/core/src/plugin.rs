@@ -1,0 +1,145 @@
+//! The plug-in interface for data-type specific modules.
+//!
+//! System builders parameterize the toolkit with a segmentation and feature
+//! extraction module and (optionally) their own distance functions (paper
+//! §4.2). [`Extractor`] is the Rust counterpart of the C interface
+//! `ObjectT seg_extract_func(const char *filename)`: it digests one raw
+//! input into a [`DataObject`] — a weighted set of feature vectors.
+
+use crate::error::Result;
+use crate::object::DataObject;
+
+/// A segmentation and feature extraction module for one data type.
+///
+/// Implementations segment the raw input into `k` segments, extract one
+/// `D`-dimensional feature vector per segment and assign each segment an
+/// importance weight (normalized by [`DataObject::new`]).
+pub trait Extractor: Send + Sync {
+    /// The raw input this extractor digests (file contents, a PCM buffer, a
+    /// voxel grid, a microarray row, ...).
+    type Input: ?Sized;
+
+    /// Human-readable name of the data type ("image", "audio", ...).
+    fn name(&self) -> &'static str;
+
+    /// The dimensionality `D` of the feature vectors this extractor emits.
+    fn dim(&self) -> usize;
+
+    /// Segments the input and extracts one weighted feature vector per
+    /// segment.
+    fn extract(&self, input: &Self::Input) -> Result<DataObject>;
+}
+
+/// An extractor that reads its input from a file on disk.
+///
+/// This is the shape the paper's data acquisition component expects: each
+/// newly discovered file is handed to the plug-in by path.
+pub trait FileExtractor: Send + Sync {
+    /// Human-readable name of the data type.
+    fn name(&self) -> &'static str;
+
+    /// Segments and extracts the object stored in `path`.
+    fn extract_file(&self, path: &std::path::Path) -> Result<DataObject>;
+}
+
+/// Adapts any byte-level [`Extractor`] into a [`FileExtractor`] by reading
+/// the file into memory first.
+pub struct FileAdapter<E> {
+    inner: E,
+}
+
+impl<E> FileAdapter<E> {
+    /// Wraps an extractor over `[u8]` input.
+    pub fn new(inner: E) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped extractor.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E> FileExtractor for FileAdapter<E>
+where
+    E: Extractor<Input = [u8]>,
+{
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn extract_file(&self, path: &std::path::Path) -> Result<DataObject> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            crate::error::CoreError::Extraction(format!("read {}: {e}", path.display()))
+        })?;
+        self.inner.extract(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::FeatureVector;
+
+    /// A toy extractor: each byte becomes a 1-d segment with weight 1.
+    struct ByteExtractor;
+
+    impl Extractor for ByteExtractor {
+        type Input = [u8];
+
+        fn name(&self) -> &'static str {
+            "bytes"
+        }
+
+        fn dim(&self) -> usize {
+            1
+        }
+
+        fn extract(&self, input: &[u8]) -> Result<DataObject> {
+            DataObject::new(
+                input
+                    .iter()
+                    .map(|&b| (FeatureVector::from_components(vec![f32::from(b)]), 1.0))
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn extractor_produces_objects() {
+        let e = ByteExtractor;
+        let obj = e.extract(&[1, 2, 3]).unwrap();
+        assert_eq!(obj.num_segments(), 3);
+        assert_eq!(e.dim(), 1);
+        assert_eq!(e.name(), "bytes");
+    }
+
+    #[test]
+    fn extractor_propagates_errors() {
+        let e = ByteExtractor;
+        assert!(e.extract(&[]).is_err());
+    }
+
+    #[test]
+    fn file_adapter_reads_files() {
+        let dir = std::env::temp_dir().join("ferret-core-plugin-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("obj.bin");
+        std::fs::write(&path, [9u8, 8, 7]).unwrap();
+        let fe = FileAdapter::new(ByteExtractor);
+        let obj = fe.extract_file(&path).unwrap();
+        assert_eq!(obj.num_segments(), 3);
+        assert_eq!(fe.name(), "bytes");
+        assert_eq!(fe.inner().dim(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_adapter_reports_missing_file() {
+        let fe = FileAdapter::new(ByteExtractor);
+        let err = fe
+            .extract_file(std::path::Path::new("/nonexistent/ferret/file"))
+            .unwrap_err();
+        assert!(err.to_string().contains("extraction failed"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Out-of-core sketch database.
+//!
+//! The paper's future work calls for "more efficient out-of-core indexing
+//! data structures for similarity search to further improve support for
+//! very large data sets" (§8). This module implements the natural first
+//! step: a flat, append-only sketch file that the filtering unit streams
+//! block-by-block, so filtering works on datasets whose sketches do not
+//! fit in memory.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic "FSKD"  version: u32  nbits: u32
+//! record*: id: u64, k: u32, then per segment: weight: f32, sketch words
+//!          (ceil(nbits / 64) × u64)
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{CoreError, Result};
+use crate::filter::{FilterParams, FilterScan, FilterStats};
+use crate::object::ObjectId;
+use crate::sketch::{BitVec, SketchedObject};
+
+const MAGIC: u32 = u32::from_le_bytes(*b"FSKD");
+const VERSION: u32 = 1;
+
+/// Upper bound on segments per record, guarding recovery from corrupt
+/// counts.
+const MAX_SEGMENTS: u32 = 1 << 20;
+
+fn io_err(context: &str, e: std::io::Error) -> CoreError {
+    CoreError::Io(format!("{context}: {e}"))
+}
+
+/// Appends sketched objects to a sketch file.
+pub struct SketchFileWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    nbits: usize,
+    records: u64,
+}
+
+impl SketchFileWriter {
+    /// Creates (truncating) a sketch file for `nbits`-bit sketches.
+    pub fn create(path: &Path, nbits: usize) -> Result<Self> {
+        if nbits == 0 {
+            return Err(CoreError::InvalidSketchParams("nbits must be > 0".into()));
+        }
+        let file = File::create(path).map_err(|e| io_err("create sketch file", e))?;
+        let mut writer = BufWriter::new(file);
+        writer
+            .write_all(&MAGIC.to_le_bytes())
+            .and_then(|()| writer.write_all(&VERSION.to_le_bytes()))
+            .and_then(|()| writer.write_all(&(nbits as u32).to_le_bytes()))
+            .map_err(|e| io_err("write header", e))?;
+        Ok(Self {
+            writer,
+            path: path.to_path_buf(),
+            nbits,
+            records: 0,
+        })
+    }
+
+    /// Sketch length this file stores.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Records appended so far.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True if no records were appended.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Appends one object's sketches.
+    pub fn append(&mut self, id: ObjectId, so: &SketchedObject) -> Result<()> {
+        if so.num_segments() == 0 {
+            return Err(CoreError::EmptyObject);
+        }
+        for s in &so.sketches {
+            if s.len() != self.nbits {
+                return Err(CoreError::SketchLengthMismatch {
+                    left: s.len(),
+                    right: self.nbits,
+                });
+            }
+        }
+        let w = &mut self.writer;
+        w.write_all(&id.0.to_le_bytes())
+            .and_then(|()| w.write_all(&(so.num_segments() as u32).to_le_bytes()))
+            .map_err(|e| io_err("write record header", e))?;
+        for (weight, sketch) in so.weights.iter().zip(so.sketches.iter()) {
+            w.write_all(&weight.to_le_bytes())
+                .map_err(|e| io_err("write weight", e))?;
+            for word in sketch.words() {
+                w.write_all(&word.to_le_bytes())
+                    .map_err(|e| io_err("write sketch", e))?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the file.
+    pub fn finish(mut self) -> Result<PathBuf> {
+        self.writer.flush().map_err(|e| io_err("flush", e))?;
+        self.writer
+            .get_ref()
+            .sync_all()
+            .map_err(|e| io_err("sync", e))?;
+        Ok(self.path)
+    }
+}
+
+/// Streams records back out of a sketch file.
+pub struct SketchFileReader {
+    reader: BufReader<File>,
+    nbits: usize,
+}
+
+impl SketchFileReader {
+    /// Opens a sketch file and validates its header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path).map_err(|e| io_err("open sketch file", e))?;
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; 12];
+        reader
+            .read_exact(&mut header)
+            .map_err(|e| io_err("read header", e))?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("len"));
+        if magic != MAGIC {
+            return Err(CoreError::Io("bad sketch file magic".into()));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("len"));
+        if version != VERSION {
+            return Err(CoreError::Io(format!("unsupported version {version}")));
+        }
+        let nbits = u32::from_le_bytes(header[8..12].try_into().expect("len")) as usize;
+        if nbits == 0 {
+            return Err(CoreError::Io("zero sketch length".into()));
+        }
+        Ok(Self { reader, nbits })
+    }
+
+    /// Sketch length this file stores.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Reads the next record into `buffer` (reused across calls to avoid
+    /// allocation); `Ok(None)` at a clean end of file.
+    pub fn read_into(&mut self, buffer: &mut SketchedObject) -> Result<Option<ObjectId>> {
+        let mut id_bytes = [0u8; 8];
+        match self.reader.read_exact(&mut id_bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(io_err("read record id", e)),
+        }
+        let id = ObjectId(u64::from_le_bytes(id_bytes));
+        let mut k_bytes = [0u8; 4];
+        self.reader
+            .read_exact(&mut k_bytes)
+            .map_err(|e| io_err("read segment count", e))?;
+        let k = u32::from_le_bytes(k_bytes);
+        if k == 0 || k > MAX_SEGMENTS {
+            return Err(CoreError::Io(format!("implausible segment count {k}")));
+        }
+        let k = k as usize;
+        let words = self.nbits.div_ceil(64);
+        buffer.weights.clear();
+        buffer.sketches.clear();
+        let mut word_buf = vec![0u8; words * 8];
+        for _ in 0..k {
+            let mut wbytes = [0u8; 4];
+            self.reader
+                .read_exact(&mut wbytes)
+                .map_err(|e| io_err("read weight", e))?;
+            buffer.weights.push(f32::from_le_bytes(wbytes));
+            self.reader
+                .read_exact(&mut word_buf)
+                .map_err(|e| io_err("read sketch", e))?;
+            // Reconstruct the bit vector from the raw words.
+            let mut bytes = Vec::with_capacity(8 + word_buf.len());
+            bytes.extend_from_slice(&(self.nbits as u64).to_le_bytes());
+            bytes.extend_from_slice(&word_buf);
+            buffer.sketches.push(BitVec::from_bytes(&bytes)?);
+        }
+        Ok(Some(id))
+    }
+
+    /// Visits every record in file order.
+    pub fn for_each<F>(&mut self, mut visit: F) -> Result<usize>
+    where
+        F: FnMut(ObjectId, &SketchedObject) -> Result<()>,
+    {
+        let mut buffer = SketchedObject {
+            weights: Vec::new(),
+            sketches: Vec::new(),
+        };
+        let mut count = 0usize;
+        while let Some(id) = self.read_into(&mut buffer)? {
+            visit(id, &buffer)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+/// Runs the filtering step against an on-disk sketch database without
+/// loading it into memory.
+pub fn filter_candidates_on_disk(
+    path: &Path,
+    query: &SketchedObject,
+    params: &FilterParams,
+) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
+    let mut reader = SketchFileReader::open(path)?;
+    for s in &query.sketches {
+        if s.len() != reader.nbits() {
+            return Err(CoreError::SketchLengthMismatch {
+                left: s.len(),
+                right: reader.nbits(),
+            });
+        }
+    }
+    let mut scan = FilterScan::new(query, params)?;
+    reader.for_each(|id, so| scan.observe(id, so))?;
+    Ok(scan.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::filter_candidates;
+    use crate::sketch::{SketchBuilder, SketchParams};
+    use crate::vector::FeatureVector;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ferret-diskdb-{name}-{}.fskd", std::process::id()))
+    }
+
+    fn sketched_objects(n: usize, nbits: usize) -> Vec<(ObjectId, SketchedObject)> {
+        let params = SketchParams::new(nbits, vec![0.0; 4], vec![1.0; 4]).unwrap();
+        let builder = SketchBuilder::new(params, 7);
+        (0..n)
+            .map(|i| {
+                let x = (i as f32 + 0.5) / n as f32;
+                let obj = crate::object::DataObject::new(vec![
+                    (FeatureVector::from_components(vec![x, 1.0 - x, x, x]), 0.6),
+                    (FeatureVector::from_components(vec![1.0 - x, x, 0.5, x]), 0.4),
+                ])
+                .unwrap();
+                (ObjectId(i as u64), builder.sketch_object(&obj).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmpfile("roundtrip");
+        let objects = sketched_objects(10, 96);
+        let mut writer = SketchFileWriter::create(&path, 96).unwrap();
+        assert!(writer.is_empty());
+        for (id, so) in &objects {
+            writer.append(*id, so).unwrap();
+        }
+        assert_eq!(writer.len(), 10);
+        writer.finish().unwrap();
+
+        let mut reader = SketchFileReader::open(&path).unwrap();
+        assert_eq!(reader.nbits(), 96);
+        let mut seen = Vec::new();
+        reader
+            .for_each(|id, so| {
+                seen.push((id, so.clone()));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 10);
+        for ((id_a, so_a), (id_b, so_b)) in objects.iter().zip(seen.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(so_a, so_b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Out-of-core filtering must produce exactly the same candidates and
+    /// statistics as the in-memory scan.
+    #[test]
+    fn disk_filter_matches_memory_filter() {
+        let path = tmpfile("parity");
+        let objects = sketched_objects(200, 128);
+        let mut writer = SketchFileWriter::create(&path, 128).unwrap();
+        for (id, so) in &objects {
+            writer.append(*id, so).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let query = objects[3].1.clone();
+        let params = FilterParams {
+            query_segments: 2,
+            candidates_per_segment: 15,
+            ..FilterParams::default()
+        };
+        let (mem_cands, mem_stats) = filter_candidates(
+            &query,
+            objects.iter().map(|(id, so)| (*id, so)),
+            &params,
+        )
+        .unwrap();
+        let (disk_cands, disk_stats) =
+            filter_candidates_on_disk(&path, &query, &params).unwrap();
+        assert_eq!(mem_cands, disk_cands);
+        assert_eq!(mem_stats, disk_stats);
+        assert!(mem_cands.contains(&ObjectId(3)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_validates_input() {
+        let path = tmpfile("validate");
+        assert!(SketchFileWriter::create(&path, 0).is_err());
+        let mut writer = SketchFileWriter::create(&path, 64).unwrap();
+        // Wrong sketch length.
+        let bad = SketchedObject {
+            weights: vec![1.0],
+            sketches: vec![BitVec::zeros(32)],
+        };
+        assert!(matches!(
+            writer.append(ObjectId(1), &bad),
+            Err(CoreError::SketchLengthMismatch { .. })
+        ));
+        // Empty object.
+        let empty = SketchedObject {
+            weights: vec![],
+            sketches: vec![],
+        };
+        assert!(writer.append(ObjectId(1), &empty).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        let path = tmpfile("garbage");
+        std::fs::write(&path, b"not a sketch file").unwrap();
+        assert!(SketchFileReader::open(&path).is_err());
+        std::fs::write(&path, b"xy").unwrap();
+        assert!(SketchFileReader::open(&path).is_err());
+        assert!(SketchFileReader::open(Path::new("/no/such/file")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let path = tmpfile("truncated");
+        let objects = sketched_objects(3, 64);
+        let mut writer = SketchFileWriter::create(&path, 64).unwrap();
+        for (id, so) in &objects {
+            writer.append(*id, so).unwrap();
+        }
+        writer.finish().unwrap();
+        // Chop mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut reader = SketchFileReader::open(&path).unwrap();
+        let result = reader.for_each(|_, _| Ok(()));
+        assert!(result.is_err(), "torn record must surface as an error");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_sketch_length_checked() {
+        let path = tmpfile("qlen");
+        let objects = sketched_objects(3, 64);
+        let mut writer = SketchFileWriter::create(&path, 64).unwrap();
+        for (id, so) in &objects {
+            writer.append(*id, so).unwrap();
+        }
+        writer.finish().unwrap();
+        let bad_query = SketchedObject {
+            weights: vec![1.0],
+            sketches: vec![BitVec::zeros(128)],
+        };
+        assert!(matches!(
+            filter_candidates_on_disk(&path, &bad_query, &FilterParams::default()),
+            Err(CoreError::SketchLengthMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Dense feature vectors extracted from data segments.
+
+use crate::error::{CoreError, Result};
+
+/// A dense, fixed-dimensionality feature vector describing one segment.
+///
+/// Feature vectors are the unit on which segment distance functions and
+/// sketch construction operate. They are immutable after construction; the
+/// components are stored as `f32`, matching the paper's `float` metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    components: Box<[f32]>,
+}
+
+impl FeatureVector {
+    /// Creates a feature vector from its components.
+    ///
+    /// Returns an error if the vector is empty or contains non-finite
+    /// components (noisy data is expected, NaN metadata is not).
+    pub fn new(components: Vec<f32>) -> Result<Self> {
+        if components.is_empty() {
+            return Err(CoreError::DimensionMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        if let Some(bad) = components.iter().position(|c| !c.is_finite()) {
+            return Err(CoreError::InvalidWeights(format!(
+                "component {bad} is not finite"
+            )));
+        }
+        Ok(Self {
+            components: components.into_boxed_slice(),
+        })
+    }
+
+    /// Creates a feature vector without validating the components.
+    ///
+    /// Intended for generated data known to be finite; still panics in debug
+    /// builds if a non-finite component slips through.
+    pub fn from_components(components: Vec<f32>) -> Self {
+        debug_assert!(components.iter().all(|c| c.is_finite()));
+        debug_assert!(!components.is_empty());
+        Self {
+            components: components.into_boxed_slice(),
+        }
+    }
+
+    /// The dimensionality `D` of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The raw components.
+    #[inline]
+    pub fn components(&self) -> &[f32] {
+        &self.components
+    }
+
+    /// Returns component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        self.components[i]
+    }
+
+    /// Checks that `self` and `other` have the same dimensionality.
+    pub fn check_same_dim(&self, other: &Self) -> Result<()> {
+        if self.dim() != other.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[f32]> for FeatureVector {
+    fn as_ref(&self) -> &[f32] {
+        &self.components
+    }
+}
+
+impl<'a> IntoIterator for &'a FeatureVector {
+    type Item = &'a f32;
+    type IntoIter = std::slice::Iter<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.components.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_finite_components() {
+        let v = FeatureVector::new(vec![1.0, -2.5, 0.0]).unwrap();
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.components(), &[1.0, -2.5, 0.0]);
+        assert_eq!(v.get(1), -2.5);
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(matches!(
+            FeatureVector::new(vec![]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn new_rejects_nan_and_inf() {
+        assert!(FeatureVector::new(vec![1.0, f32::NAN]).is_err());
+        assert!(FeatureVector::new(vec![f32::INFINITY]).is_err());
+        assert!(FeatureVector::new(vec![f32::NEG_INFINITY, 0.0]).is_err());
+    }
+
+    #[test]
+    fn check_same_dim_detects_mismatch() {
+        let a = FeatureVector::new(vec![1.0, 2.0]).unwrap();
+        let b = FeatureVector::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(a.check_same_dim(&b).is_err());
+        assert!(a.check_same_dim(&a.clone()).is_ok());
+    }
+
+    #[test]
+    fn iterates_components() {
+        let v = FeatureVector::new(vec![3.0, 4.0]).unwrap();
+        let sum: f32 = (&v).into_iter().sum();
+        assert_eq!(sum, 7.0);
+    }
+}

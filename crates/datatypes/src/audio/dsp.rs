@@ -1,0 +1,371 @@
+//! Signal processing primitives for the audio plug-in.
+//!
+//! The paper extracts "the first six MFCC parameters" from 512-sample
+//! windows using the Marsyas library (§5.2). This module implements the
+//! same computation from scratch: Hann windowing, a radix-2 FFT, a mel
+//! triangular filterbank, log compression, and a DCT-II — plus the RMS
+//! energy and zero-crossing measures used by the utterance segmenter.
+
+/// A complex number for the FFT (kept minimal on purpose).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex {
+            re: ang.cos(),
+            im: ang.sin(),
+        };
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex { re: 1.0, im: 0.0 };
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2].mul(w);
+                data[i + j] = u.add(v);
+                data[i + j + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectrum of a real frame: `|FFT|²` for bins `0..=n/2`.
+///
+/// The frame is Hann-windowed before the transform.
+pub fn power_spectrum(frame: &[f32]) -> Vec<f64> {
+    let n = frame.len();
+    assert!(n.is_power_of_two(), "frame length must be a power of two");
+    let mut buf: Vec<Complex> = frame
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let w = 0.5 - 0.5 * (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos();
+            Complex {
+                re: f64::from(x) * w,
+                im: 0.0,
+            }
+        })
+        .collect();
+    fft(&mut buf);
+    buf[..=n / 2].iter().map(|c| c.norm_sq()).collect()
+}
+
+/// Hertz to mel (O'Shaughnessy).
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Mel to hertz.
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// A bank of triangular mel-spaced filters over a power spectrum.
+#[derive(Debug, Clone)]
+pub struct MelFilterBank {
+    /// filters[f] = (start_bin, weights).
+    filters: Vec<(usize, Vec<f64>)>,
+}
+
+impl MelFilterBank {
+    /// Builds `num_filters` triangular filters for frames of `frame_len`
+    /// samples at `sample_rate` Hz, spanning 0 Hz to Nyquist.
+    pub fn new(num_filters: usize, frame_len: usize, sample_rate: f64) -> Self {
+        assert!(num_filters >= 1);
+        let nyquist = sample_rate / 2.0;
+        let num_bins = frame_len / 2 + 1;
+        let mel_max = hz_to_mel(nyquist);
+        // num_filters + 2 edge points, evenly spaced in mel.
+        let edges: Vec<f64> = (0..num_filters + 2)
+            .map(|i| mel_to_hz(mel_max * i as f64 / (num_filters + 1) as f64))
+            .collect();
+        let hz_per_bin = sample_rate / frame_len as f64;
+        let mut filters = Vec::with_capacity(num_filters);
+        for f in 0..num_filters {
+            let (lo, mid, hi) = (edges[f], edges[f + 1], edges[f + 2]);
+            let mut weights = Vec::new();
+            let mut start = None;
+            for bin in 0..num_bins {
+                let hz = bin as f64 * hz_per_bin;
+                let w = if hz >= lo && hz <= mid && mid > lo {
+                    (hz - lo) / (mid - lo)
+                } else if hz > mid && hz <= hi && hi > mid {
+                    (hi - hz) / (hi - mid)
+                } else {
+                    0.0
+                };
+                if w > 0.0 {
+                    if start.is_none() {
+                        start = Some(bin);
+                    }
+                    weights.push(w);
+                } else if start.is_some() {
+                    break;
+                }
+            }
+            filters.push((start.unwrap_or(0), weights));
+        }
+        Self { filters }
+    }
+
+    /// Number of filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// True if the bank has no filters (never for valid construction).
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Applies the bank: log energy per filter.
+    pub fn log_energies(&self, power: &[f64]) -> Vec<f64> {
+        self.filters
+            .iter()
+            .map(|(start, weights)| {
+                let e: f64 = weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| w * power.get(start + i).copied().unwrap_or(0.0))
+                    .sum();
+                (e + 1e-10).ln()
+            })
+            .collect()
+    }
+}
+
+/// DCT-II of `input`, returning the first `num_coeffs` coefficients
+/// (excluding the DC coefficient `c0`, which only encodes overall energy).
+pub fn dct_coefficients(input: &[f64], num_coeffs: usize) -> Vec<f64> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(num_coeffs);
+    for k in 1..=num_coeffs {
+        let mut sum = 0.0;
+        for (i, &x) in input.iter().enumerate() {
+            sum += x * (std::f64::consts::PI * k as f64 * (i as f64 + 0.5) / n as f64).cos();
+        }
+        out.push(sum * (2.0 / n as f64).sqrt());
+    }
+    out
+}
+
+/// Computes MFCC-style coefficients for one frame.
+pub fn mfcc_frame(frame: &[f32], bank: &MelFilterBank, num_coeffs: usize) -> Vec<f64> {
+    let power = power_spectrum(frame);
+    let log_mel = bank.log_energies(&power);
+    dct_coefficients(&log_mel, num_coeffs)
+}
+
+/// RMS energy of a window (the segmenter's loudness measure).
+pub fn rms_energy(window: &[f32]) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = window.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    (sum / window.len() as f64).sqrt()
+}
+
+/// Number of zero crossings in a window (the segmenter's unvoiced-consonant
+/// indicator).
+pub fn zero_crossings(window: &[f32]) -> usize {
+    window
+        .windows(2)
+        .filter(|p| (p[0] >= 0.0) != (p[1] >= 0.0))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, rate: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin() as f32)
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex { re: 1.0, im: 0.0 };
+        fft(&mut data);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_sine_peaks_at_frequency() {
+        // 64-sample frame, sine at bin 8 exactly.
+        let n = 64;
+        let rate = 64.0;
+        let signal = sine(8.0, rate, n);
+        let mut data: Vec<Complex> = signal
+            .iter()
+            .map(|&x| Complex {
+                re: f64::from(x),
+                im: 0.0,
+            })
+            .collect();
+        fft(&mut data);
+        let mags: Vec<f64> = data.iter().map(|c| c.norm_sq().sqrt()).collect();
+        let peak = mags
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 8);
+        // Parseval: energy conserved (scaled by n).
+        let time_energy: f64 = signal.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 6];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn power_spectrum_localizes_tone() {
+        let frame = sine(1000.0, 16000.0, 512);
+        let power = power_spectrum(&frame);
+        assert_eq!(power.len(), 257);
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // 1000 Hz at 16 kHz / 512 samples -> bin 32.
+        assert!((peak as i64 - 32).abs() <= 1, "peak at bin {peak}");
+    }
+
+    #[test]
+    fn mel_conversions_roundtrip() {
+        for hz in [0.0, 100.0, 1000.0, 4000.0, 8000.0] {
+            let back = mel_to_hz(hz_to_mel(hz));
+            assert!((back - hz).abs() < 1e-6, "hz {hz} -> {back}");
+        }
+        // Mel scale is monotone and compressive at high frequencies.
+        assert!(hz_to_mel(2000.0) - hz_to_mel(1000.0) < hz_to_mel(1000.0) - hz_to_mel(0.0));
+    }
+
+    #[test]
+    fn filterbank_covers_spectrum() {
+        let bank = MelFilterBank::new(20, 512, 16000.0);
+        assert_eq!(bank.len(), 20);
+        assert!(!bank.is_empty());
+        // A flat spectrum produces positive energies in every filter.
+        let flat = vec![1.0f64; 257];
+        let es = bank.log_energies(&flat);
+        assert_eq!(es.len(), 20);
+        assert!(es.iter().all(|&e| e.is_finite()));
+    }
+
+    #[test]
+    fn different_tones_give_different_mfcc() {
+        let bank = MelFilterBank::new(20, 512, 16000.0);
+        let a = mfcc_frame(&sine(400.0, 16000.0, 512), &bank, 6);
+        let b = mfcc_frame(&sine(2500.0, 16000.0, 512), &bank, 6);
+        assert_eq!(a.len(), 6);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.5, "mfcc should separate tones: diff {diff}");
+    }
+
+    #[test]
+    fn same_tone_gives_same_mfcc() {
+        let bank = MelFilterBank::new(20, 512, 16000.0);
+        let a = mfcc_frame(&sine(400.0, 16000.0, 512), &bank, 6);
+        let b = mfcc_frame(&sine(400.0, 16000.0, 512), &bank, 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_has_no_ac() {
+        let coeffs = dct_coefficients(&[3.0; 16], 6);
+        for c in coeffs {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rms_and_zero_crossings() {
+        assert_eq!(rms_energy(&[]), 0.0);
+        assert!((rms_energy(&[1.0, -1.0, 1.0, -1.0]) - 1.0).abs() < 1e-9);
+        assert!(rms_energy(&[0.0, 0.0]) < 1e-12);
+        assert_eq!(zero_crossings(&[1.0, -1.0, 1.0, -1.0]), 3);
+        assert_eq!(zero_crossings(&[1.0, 2.0, 3.0]), 0);
+        // A high-frequency tone has more crossings than a low one.
+        let lo = sine(100.0, 16000.0, 320);
+        let hi = sine(3000.0, 16000.0, 320);
+        assert!(zero_crossings(&hi) > zero_crossings(&lo) * 5);
+    }
+}

@@ -1,0 +1,294 @@
+//! Speech-like audio synthesis.
+//!
+//! The paper evaluates on the TIMIT corpus: sentences spoken by many
+//! speakers. TIMIT cannot be shipped, so we synthesize: a vocabulary of
+//! word templates (sequences of formant-defined phoneme units) rendered by
+//! parametric speakers (pitch, formant scaling, breathiness). A similarity
+//! set is one word sequence rendered by several speakers — the same
+//! "sentence spoken by 7 different people" structure as the paper's 450
+//! TIMIT sets (§6.1).
+
+use rand::Rng;
+
+/// Sample rate of all synthesized audio (Hz).
+pub const SAMPLE_RATE: usize = 16_000;
+
+/// One phoneme-like unit of a word template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phoneme {
+    /// Formant center frequencies in Hz (speaker-scaled at render time).
+    pub formants: [f64; 2],
+    /// Voiced (harmonic) or unvoiced (noise burst, high zero crossings).
+    pub voiced: bool,
+    /// Duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+/// A word: a short sequence of phonemes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordTemplate {
+    /// The phoneme sequence.
+    pub phonemes: Vec<Phoneme>,
+}
+
+/// A parametric speaker voice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speaker {
+    /// Fundamental frequency in Hz (roughly 80–260).
+    pub pitch: f64,
+    /// Vocal-tract length factor applied to formants (roughly 0.8–1.25).
+    pub formant_scale: f64,
+    /// Noise mixed into voiced sounds, in `[0, 1)`.
+    pub breathiness: f64,
+    /// Output amplitude.
+    pub amplitude: f64,
+}
+
+impl Speaker {
+    /// Draws a random speaker.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        Self {
+            pitch: rng.random_range(85.0..260.0),
+            formant_scale: rng.random_range(0.85..1.2),
+            breathiness: rng.random_range(0.02..0.12),
+            amplitude: rng.random_range(0.5..0.9),
+        }
+    }
+}
+
+/// A vocabulary of word templates shared by all speakers.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<WordTemplate>,
+}
+
+impl Vocabulary {
+    /// Generates `size` random word templates.
+    pub fn generate<R: Rng>(size: usize, rng: &mut R) -> Self {
+        let mut words = Vec::with_capacity(size);
+        for _ in 0..size {
+            let num_phonemes = rng.random_range(2..=4);
+            let phonemes = (0..num_phonemes)
+                .map(|_| Phoneme {
+                    formants: [
+                        rng.random_range(300.0..1000.0),
+                        rng.random_range(1100.0..2800.0),
+                    ],
+                    voiced: rng.random_bool(0.8),
+                    duration_ms: rng.random_range(50.0..110.0),
+                })
+                .collect();
+            words.push(WordTemplate { phonemes });
+        }
+        Self { words }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word template `i`.
+    pub fn word(&self, i: usize) -> &WordTemplate {
+        &self.words[i]
+    }
+}
+
+/// Raised-cosine attack/decay envelope.
+fn envelope(i: usize, n: usize, edge: usize) -> f64 {
+    if i < edge {
+        0.5 - 0.5 * (std::f64::consts::PI * i as f64 / edge as f64).cos()
+    } else if i + edge > n {
+        let j = n - i;
+        0.5 - 0.5 * (std::f64::consts::PI * j as f64 / edge as f64).cos()
+    } else {
+        1.0
+    }
+}
+
+/// Renders one word for a speaker, returning PCM samples.
+pub fn render_word<R: Rng>(word: &WordTemplate, speaker: &Speaker, rng: &mut R) -> Vec<f32> {
+    let mut out = Vec::new();
+    let mut phase = [0.0f64; 24]; // Continuous harmonic phases.
+    for ph in &word.phonemes {
+        let n = (ph.duration_ms / 1000.0 * SAMPLE_RATE as f64) as usize;
+        let edge = (0.01 * SAMPLE_RATE as f64) as usize; // 10 ms ramps.
+        let f1 = ph.formants[0] * speaker.formant_scale;
+        let f2 = ph.formants[1] * speaker.formant_scale;
+        if ph.voiced {
+            // Harmonic amplitudes shaped by two formant bumps.
+            let num_harmonics = ((SAMPLE_RATE as f64 / 2.2) / speaker.pitch) as usize;
+            let num_harmonics = num_harmonics.min(phase.len());
+            let amps: Vec<f64> = (1..=num_harmonics)
+                .map(|k| {
+                    let f = speaker.pitch * k as f64;
+                    let bump = |center: f64, width: f64| {
+                        (-((f - center) / width).powi(2)).exp()
+                    };
+                    bump(f1, 180.0) + 0.7 * bump(f2, 280.0) + 0.02
+                })
+                .collect();
+            let norm: f64 = amps.iter().sum::<f64>().max(1e-9);
+            for i in 0..n {
+                let mut s = 0.0f64;
+                for (k, &a) in amps.iter().enumerate() {
+                    phase[k] += 2.0 * std::f64::consts::PI * speaker.pitch * (k + 1) as f64
+                        / SAMPLE_RATE as f64;
+                    s += a / norm * phase[k].sin();
+                }
+                let noise: f64 = rng.random_range(-1.0..1.0) * speaker.breathiness;
+                out.push((speaker.amplitude * envelope(i, n, edge) * (s + noise)) as f32);
+            }
+        } else {
+            // Unvoiced: noise burst (naturally high zero-crossing rate).
+            for i in 0..n {
+                let noise: f64 = rng.random_range(-1.0..1.0);
+                out.push((0.35 * speaker.amplitude * envelope(i, n, edge) * noise) as f32);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a sentence: words joined by short silent gaps.
+pub fn render_sentence<R: Rng>(
+    words: &[&WordTemplate],
+    speaker: &Speaker,
+    gap_ms: f64,
+    rng: &mut R,
+) -> Vec<f32> {
+    let gap = (gap_ms / 1000.0 * SAMPLE_RATE as f64) as usize;
+    let mut out = Vec::new();
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            out.extend(std::iter::repeat_n(0.0f32, gap));
+        }
+        out.extend(render_word(w, speaker, rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::dsp::{rms_energy, zero_crossings};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn vocabulary_generation() {
+        let mut r = rng();
+        let v = Vocabulary::generate(10, &mut r);
+        assert_eq!(v.len(), 10);
+        assert!(!v.is_empty());
+        for i in 0..10 {
+            let w = v.word(i);
+            assert!(!w.phonemes.is_empty());
+            for p in &w.phonemes {
+                assert!(p.duration_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_word_has_energy() {
+        let mut r = rng();
+        let v = Vocabulary::generate(1, &mut r);
+        let s = Speaker::random(&mut r);
+        let pcm = render_word(v.word(0), &s, &mut r);
+        assert!(!pcm.is_empty());
+        assert!(rms_energy(&pcm) > 0.01, "rms {}", rms_energy(&pcm));
+        assert!(pcm.iter().all(|x| x.abs() <= 1.5));
+    }
+
+    #[test]
+    fn voiced_vs_unvoiced_zero_crossings() {
+        let mut r = rng();
+        let s = Speaker {
+            pitch: 120.0,
+            formant_scale: 1.0,
+            breathiness: 0.02,
+            amplitude: 0.8,
+        };
+        let voiced = WordTemplate {
+            phonemes: vec![Phoneme {
+                formants: [500.0, 1500.0],
+                voiced: true,
+                duration_ms: 100.0,
+            }],
+        };
+        let unvoiced = WordTemplate {
+            phonemes: vec![Phoneme {
+                formants: [500.0, 1500.0],
+                voiced: false,
+                duration_ms: 100.0,
+            }],
+        };
+        let pv = render_word(&voiced, &s, &mut r);
+        let pu = render_word(&unvoiced, &s, &mut r);
+        assert!(
+            zero_crossings(&pu) > zero_crossings(&pv) * 2,
+            "unvoiced {} vs voiced {}",
+            zero_crossings(&pu),
+            zero_crossings(&pv)
+        );
+    }
+
+    #[test]
+    fn sentence_contains_gaps() {
+        let mut r = rng();
+        let v = Vocabulary::generate(3, &mut r);
+        let s = Speaker::random(&mut r);
+        let words: Vec<&WordTemplate> = (0..3).map(|i| v.word(i)).collect();
+        let pcm = render_sentence(&words, &s, 60.0, &mut r);
+        let word_len: usize = words
+            .iter()
+            .map(|w| {
+                w.phonemes
+                    .iter()
+                    .map(|p| (p.duration_ms / 1000.0 * SAMPLE_RATE as f64) as usize)
+                    .sum::<usize>()
+            })
+            .sum();
+        let gap = (0.06 * SAMPLE_RATE as f64) as usize;
+        assert_eq!(pcm.len(), word_len + 2 * gap);
+        // The gap region is silent.
+        let first_word_len = words[0]
+            .phonemes
+            .iter()
+            .map(|p| (p.duration_ms / 1000.0 * SAMPLE_RATE as f64) as usize)
+            .sum::<usize>();
+        let gap_slice = &pcm[first_word_len..first_word_len + gap];
+        assert!(rms_energy(gap_slice) < 1e-6);
+    }
+
+    #[test]
+    fn same_speaker_same_word_is_similar_envelope() {
+        // Two renders differ only in noise; their RMS should be close.
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(2);
+        let mut vr = rng();
+        let v = Vocabulary::generate(1, &mut vr);
+        let s = Speaker {
+            pitch: 150.0,
+            formant_scale: 1.0,
+            breathiness: 0.05,
+            amplitude: 0.7,
+        };
+        let a = render_word(v.word(0), &s, &mut r1);
+        let b = render_word(v.word(0), &s, &mut r2);
+        assert_eq!(a.len(), b.len());
+        let ra = rms_energy(&a);
+        let rb = rms_energy(&b);
+        assert!((ra - rb).abs() / ra < 0.2, "rms {ra} vs {rb}");
+    }
+}

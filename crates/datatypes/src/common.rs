@@ -1,0 +1,140 @@
+//! Shared dataset and ground-truth types for the data-type plug-ins.
+//!
+//! The paper's quality benchmarks (VARY, TIMIT, PSB) are collections of
+//! objects plus human-defined *similarity sets*: "using any object in a
+//! similarity set as the query item should retrieve the other objects in
+//! the similarity set as highly ranked search results" (§6.1). The
+//! synthetic generators in this crate produce the same structure with
+//! planted ground truth.
+
+use ferret_core::object::{DataObject, ObjectId};
+
+/// A generated benchmark dataset with planted ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// All objects with their ids.
+    pub objects: Vec<(ObjectId, DataObject)>,
+    /// Ground-truth similarity sets (ids into `objects`). Objects not in
+    /// any set are distractors.
+    pub similarity_sets: Vec<Vec<ObjectId>>,
+    /// Dimensionality of the feature vectors.
+    pub feature_dim: usize,
+}
+
+impl Dataset {
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the dataset has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Average number of segments per object.
+    pub fn avg_segments(&self) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.objects.iter().map(|(_, o)| o.num_segments()).sum();
+        total as f64 / self.objects.len() as f64
+    }
+
+    /// Looks up an object by id (linear scan; datasets are built once).
+    pub fn object(&self, id: ObjectId) -> Option<&DataObject> {
+        self.objects
+            .iter()
+            .find(|(oid, _)| *oid == id)
+            .map(|(_, o)| o)
+    }
+
+    /// Basic sanity checks: unique ids, non-empty similarity sets whose
+    /// members exist, consistent dimensionality.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for (id, obj) in &self.objects {
+            if !seen.insert(*id) {
+                return Err(format!("duplicate object id {id}"));
+            }
+            if obj.dim() != self.feature_dim {
+                return Err(format!(
+                    "object {id} has dim {} != dataset dim {}",
+                    obj.dim(),
+                    self.feature_dim
+                ));
+            }
+        }
+        for (i, set) in self.similarity_sets.iter().enumerate() {
+            if set.len() < 2 {
+                return Err(format!("similarity set {i} has fewer than 2 members"));
+            }
+            for id in set {
+                if !seen.contains(id) {
+                    return Err(format!("similarity set {i} references missing {id}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferret_core::vector::FeatureVector;
+
+    fn obj(x: f32) -> DataObject {
+        DataObject::single(FeatureVector::new(vec![x, x]).unwrap())
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            name: "test".into(),
+            objects: vec![
+                (ObjectId(0), obj(0.0)),
+                (ObjectId(1), obj(0.1)),
+                (ObjectId(2), obj(5.0)),
+            ],
+            similarity_sets: vec![vec![ObjectId(0), ObjectId(1)]],
+            feature_dim: 2,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let d = dataset();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.avg_segments(), 1.0);
+        assert!(d.object(ObjectId(2)).is_some());
+        assert!(d.object(ObjectId(9)).is_none());
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_duplicates() {
+        let mut d = dataset();
+        d.objects.push((ObjectId(0), obj(1.0)));
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_sets() {
+        let mut d = dataset();
+        d.similarity_sets.push(vec![ObjectId(0)]);
+        assert!(d.validate().is_err());
+        let mut d = dataset();
+        d.similarity_sets.push(vec![ObjectId(0), ObjectId(77)]);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_dim_mismatch() {
+        let mut d = dataset();
+        d.feature_dim = 3;
+        assert!(d.validate().is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Region feature extraction: 14-dimensional vectors.
+//!
+//! Per paper §5.1: "each image segment is represented by a 14-dimensional
+//! feature vector: 9 dimensions for color moments and 5 dimensions for
+//! bounding box information ... aspect ratio (width/height), bounding box
+//! size, area ratio (segment size/bounding box size), and segment
+//! centroids. The weight of each segment is proportional to the square
+//! root of that segment's size."
+
+use ferret_core::error::Result;
+use ferret_core::object::DataObject;
+use ferret_core::vector::FeatureVector;
+
+use super::raster::Raster;
+use super::segment::Segmentation;
+
+/// Dimensionality of the image region features.
+pub const IMAGE_DIM: usize = 14;
+
+/// Per-dimension minimum values for sketching parameters.
+pub fn feature_mins() -> Vec<f32> {
+    // 9 color moments: means in [0,1], stddevs in [0,0.5], skews in [-1,1];
+    // 5 bbox: aspect in [0,8], bbox size in [0,1], area ratio in [0,1],
+    // centroid x/y in [0,1].
+    vec![
+        0.0, 0.0, 0.0, // channel means
+        0.0, 0.0, 0.0, // channel stddevs
+        -1.0, -1.0, -1.0, // channel skews (cube-rooted)
+        0.0, 0.0, 0.0, 0.0, 0.0, // bbox features
+    ]
+}
+
+/// Per-dimension maximum values for sketching parameters.
+pub fn feature_maxs() -> Vec<f32> {
+    vec![
+        1.0, 1.0, 1.0, // channel means
+        0.5, 0.5, 0.5, // channel stddevs
+        1.0, 1.0, 1.0, // channel skews
+        8.0, 1.0, 1.0, 1.0, 1.0, // bbox features
+    ]
+}
+
+/// Computes the 9 color moments of a set of pixel colors: per-channel mean,
+/// standard deviation, and cube-rooted skewness.
+pub fn color_moments(colors: impl Iterator<Item = [f32; 3]> + Clone) -> [f32; 9] {
+    let mut n = 0usize;
+    let mut mean = [0.0f64; 3];
+    for c in colors.clone() {
+        n += 1;
+        for ch in 0..3 {
+            mean[ch] += f64::from(c[ch]);
+        }
+    }
+    let nf = n.max(1) as f64;
+    for m in mean.iter_mut() {
+        *m /= nf;
+    }
+    let mut var = [0.0f64; 3];
+    let mut skew = [0.0f64; 3];
+    for c in colors {
+        for ch in 0..3 {
+            let d = f64::from(c[ch]) - mean[ch];
+            var[ch] += d * d;
+            skew[ch] += d * d * d;
+        }
+    }
+    let mut out = [0.0f32; 9];
+    for ch in 0..3 {
+        let std = (var[ch] / nf).sqrt();
+        // Cube root of the third central moment — same scale as the values.
+        let sk = (skew[ch] / nf).cbrt();
+        out[ch] = mean[ch] as f32;
+        out[3 + ch] = std as f32;
+        out[6 + ch] = sk.clamp(-1.0, 1.0) as f32;
+    }
+    out
+}
+
+/// Extracts the 14-d feature vector and pixel count of every segment.
+pub fn extract_region_features(raster: &Raster, seg: &Segmentation) -> Vec<(FeatureVector, usize)> {
+    let n = seg.num_segments();
+    let (w, h) = (raster.width(), raster.height());
+    #[derive(Clone)]
+    struct Acc {
+        count: usize,
+        min_x: usize,
+        max_x: usize,
+        min_y: usize,
+        max_y: usize,
+        sum_x: f64,
+        sum_y: f64,
+        colors: Vec<[f32; 3]>,
+    }
+    let mut accs = vec![
+        Acc {
+            count: 0,
+            min_x: usize::MAX,
+            max_x: 0,
+            min_y: usize::MAX,
+            max_y: 0,
+            sum_x: 0.0,
+            sum_y: 0.0,
+            colors: Vec::new(),
+        };
+        n
+    ];
+    for y in 0..h {
+        for x in 0..w {
+            let l = seg.label(x, y) as usize;
+            let a = &mut accs[l];
+            a.count += 1;
+            a.min_x = a.min_x.min(x);
+            a.max_x = a.max_x.max(x);
+            a.min_y = a.min_y.min(y);
+            a.max_y = a.max_y.max(y);
+            a.sum_x += x as f64;
+            a.sum_y += y as f64;
+            a.colors.push(raster.get(x, y));
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for a in accs.into_iter().filter(|a| a.count > 0) {
+        let moments = color_moments(a.colors.iter().copied());
+        let bw = (a.max_x - a.min_x + 1) as f32;
+        let bh = (a.max_y - a.min_y + 1) as f32;
+        let aspect = (bw / bh).min(8.0);
+        let bbox_size = (bw * bh) / (w as f32 * h as f32);
+        let area_ratio = a.count as f32 / (bw * bh);
+        let centroid_x = (a.sum_x / a.count as f64) as f32 / w as f32;
+        let centroid_y = (a.sum_y / a.count as f64) as f32 / h as f32;
+        let mut components = Vec::with_capacity(IMAGE_DIM);
+        components.extend_from_slice(&moments);
+        components.extend_from_slice(&[aspect, bbox_size, area_ratio, centroid_x, centroid_y]);
+        out.push((FeatureVector::from_components(components), a.count));
+    }
+    out
+}
+
+/// Builds a [`DataObject`] from region features, weighting each segment by
+/// the square root of its pixel count.
+pub fn regions_to_object(features: Vec<(FeatureVector, usize)>) -> Result<DataObject> {
+    DataObject::new(
+        features
+            .into_iter()
+            .map(|(v, count)| (v, (count as f32).sqrt()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::raster::{RegionShape, RegionSpec, SceneSpec};
+    use crate::image::segment::{segment, SegmenterParams};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn color_moments_of_constant_color() {
+        let colors = [[0.25f32, 0.5, 0.75]; 10];
+        let m = color_moments(colors.iter().copied());
+        assert!((m[0] - 0.25).abs() < 1e-6);
+        assert!((m[1] - 0.5).abs() < 1e-6);
+        assert!((m[2] - 0.75).abs() < 1e-6);
+        // Zero variance and skew.
+        for &v in &m[3..9] {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn color_moments_capture_spread() {
+        let colors = [[0.0f32, 0.0, 0.0], [1.0, 0.0, 0.0]];
+        let m = color_moments(colors.iter().copied());
+        assert!((m[0] - 0.5).abs() < 1e-6);
+        assert!((m[3] - 0.5).abs() < 1e-6); // stddev of {0,1} is 0.5
+        assert!(m[4].abs() < 1e-6);
+    }
+
+    #[test]
+    fn skew_sign_tracks_asymmetry() {
+        // Mostly low values with one high outlier: positive skew.
+        let mut colors = vec![[0.1f32, 0.5, 0.5]; 9];
+        colors.push([1.0, 0.5, 0.5]);
+        let m = color_moments(colors.iter().copied());
+        assert!(m[6] > 0.0);
+    }
+
+    #[test]
+    fn extraction_produces_14d_features() {
+        let scene = SceneSpec {
+            background: [0.1, 0.1, 0.8],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Rect,
+                cx: 0.3,
+                cy: 0.5,
+                rx: 0.2,
+                ry: 0.3,
+                color: [0.9, 0.2, 0.1],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let raster = scene.render(32, 32, 0.01, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        let feats = extract_region_features(&raster, &seg);
+        assert_eq!(feats.len(), seg.num_segments());
+        for (v, count) in &feats {
+            assert_eq!(v.dim(), IMAGE_DIM);
+            assert!(*count > 0);
+        }
+        let obj = regions_to_object(feats).unwrap();
+        assert_eq!(obj.dim(), IMAGE_DIM);
+        assert!((obj.total_weight() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bbox_features_are_sane() {
+        // A rect occupying the left half: centroid_x ~ 0.25, area ratio ~ 1.
+        let scene = SceneSpec {
+            background: [0.9, 0.9, 0.9],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Rect,
+                cx: 0.25,
+                cy: 0.5,
+                rx: 0.25,
+                ry: 0.5,
+                color: [0.1, 0.1, 0.1],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let raster = scene.render(40, 40, 0.0, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        let feats = extract_region_features(&raster, &seg);
+        // Find the dark region (mean red < 0.5).
+        let dark = feats.iter().find(|(v, _)| v.get(0) < 0.5).unwrap();
+        let v = &dark.0;
+        assert!((v.get(12) - 0.25).abs() < 0.08, "centroid_x {}", v.get(12));
+        assert!((v.get(11) - 1.0).abs() < 0.1, "area ratio {}", v.get(11));
+        assert!(v.get(10) <= 0.6, "bbox size {}", v.get(10));
+    }
+
+    #[test]
+    fn weights_follow_sqrt_area() {
+        let scene = SceneSpec {
+            background: [0.9, 0.9, 0.9],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Rect,
+                cx: 0.25,
+                cy: 0.25,
+                rx: 0.24,
+                ry: 0.24,
+                color: [0.1, 0.1, 0.1],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let raster = scene.render(64, 64, 0.0, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        let feats = extract_region_features(&raster, &seg);
+        let counts: Vec<usize> = feats.iter().map(|(_, c)| *c).collect();
+        let obj = regions_to_object(feats).unwrap();
+        // weight_i / weight_j == sqrt(count_i / count_j).
+        let r_weights = obj.segment(0).weight / obj.segment(1).weight;
+        let r_counts = ((counts[0] as f32) / (counts[1] as f32)).sqrt();
+        assert!((r_weights - r_counts).abs() < 1e-4);
+    }
+
+    #[test]
+    fn feature_ranges_cover_extraction() {
+        let mins = feature_mins();
+        let maxs = feature_maxs();
+        assert_eq!(mins.len(), IMAGE_DIM);
+        assert_eq!(maxs.len(), IMAGE_DIM);
+        let scene = SceneSpec {
+            background: [0.5, 0.3, 0.7],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Ellipse,
+                cx: 0.6,
+                cy: 0.4,
+                rx: 0.3,
+                ry: 0.2,
+                color: [0.2, 0.8, 0.3],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let raster = scene.render(32, 32, 0.05, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        for (v, _) in extract_region_features(&raster, &seg) {
+            for (i, &c) in v.components().iter().enumerate() {
+                assert!(
+                    c >= mins[i] - 1e-5 && c <= maxs[i] + 1e-5,
+                    "dim {i} value {c} outside [{}, {}]",
+                    mins[i],
+                    maxs[i]
+                );
+            }
+        }
+    }
+}

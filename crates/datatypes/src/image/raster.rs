@@ -1,0 +1,246 @@
+//! Synthetic raster images and scene specifications.
+//!
+//! The paper's image system ingests photographs (the VARY/Corel
+//! collections). Those images cannot be shipped, so we synthesize scenes:
+//! a background plus colored regions (rectangles and ellipses). The
+//! rendered rasters feed the *real* segmentation and feature extraction
+//! pipeline; similarity sets are planted by perturbing a base scene.
+
+use rand::Rng;
+
+/// An RGB raster with components in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct Raster {
+    width: usize,
+    height: usize,
+    pixels: Vec<[f32; 3]>,
+}
+
+impl Raster {
+    /// Creates a raster filled with `color`.
+    pub fn filled(width: usize, height: usize, color: [f32; 3]) -> Self {
+        assert!(width > 0 && height > 0, "raster must be non-empty");
+        Self {
+            width,
+            height,
+            pixels: vec![color; width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [f32; 3] {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, color: [f32; 3]) {
+        self.pixels[y * self.width + x] = color;
+    }
+
+    /// All pixels, row-major.
+    pub fn pixels(&self) -> &[[f32; 3]] {
+        &self.pixels
+    }
+}
+
+/// The geometric form of a scene region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RegionShape {
+    /// An axis-aligned rectangle.
+    Rect,
+    /// An axis-aligned ellipse.
+    Ellipse,
+}
+
+/// One region of a scene, in fractional image coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Geometric form.
+    pub shape: RegionShape,
+    /// Center x in `[0, 1]`.
+    pub cx: f32,
+    /// Center y in `[0, 1]`.
+    pub cy: f32,
+    /// Half-width in `[0, 1]`.
+    pub rx: f32,
+    /// Half-height in `[0, 1]`.
+    pub ry: f32,
+    /// Base RGB color.
+    pub color: [f32; 3],
+}
+
+/// A whole scene: background plus regions painted in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneSpec {
+    /// Background color.
+    pub background: [f32; 3],
+    /// Regions, painted back to front.
+    pub regions: Vec<RegionSpec>,
+}
+
+impl SceneSpec {
+    /// Renders the scene to a raster, adding per-pixel color noise of
+    /// amplitude `noise` (photographs are noisy; this keeps segmentation
+    /// honest).
+    pub fn render<R: Rng>(&self, width: usize, height: usize, noise: f32, rng: &mut R) -> Raster {
+        let mut raster = Raster::filled(width, height, self.background);
+        for region in &self.regions {
+            let cx = region.cx * width as f32;
+            let cy = region.cy * height as f32;
+            let rx = (region.rx * width as f32).max(1.0);
+            let ry = (region.ry * height as f32).max(1.0);
+            let x0 = ((cx - rx).floor().max(0.0)) as usize;
+            let x1 = ((cx + rx).ceil().min(width as f32 - 1.0)) as usize;
+            let y0 = ((cy - ry).floor().max(0.0)) as usize;
+            let y1 = ((cy + ry).ceil().min(height as f32 - 1.0)) as usize;
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let inside = match region.shape {
+                        RegionShape::Rect => true,
+                        RegionShape::Ellipse => {
+                            let dx = (x as f32 + 0.5 - cx) / rx;
+                            let dy = (y as f32 + 0.5 - cy) / ry;
+                            dx * dx + dy * dy <= 1.0
+                        }
+                    };
+                    if inside {
+                        raster.set(x, y, region.color);
+                    }
+                }
+            }
+        }
+        if noise > 0.0 {
+            for p in raster.pixels.iter_mut() {
+                for c in p.iter_mut() {
+                    *c = (*c + rng.random_range(-noise..noise)).clamp(0.0, 1.0);
+                }
+            }
+        }
+        raster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn filled_raster() {
+        let r = Raster::filled(4, 3, [0.5, 0.5, 0.5]);
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 3);
+        assert_eq!(r.get(3, 2), [0.5, 0.5, 0.5]);
+        assert_eq!(r.pixels().len(), 12);
+    }
+
+    #[test]
+    fn render_paints_rect() {
+        let scene = SceneSpec {
+            background: [0.0, 0.0, 0.0],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Rect,
+                cx: 0.5,
+                cy: 0.5,
+                rx: 0.25,
+                ry: 0.25,
+                color: [1.0, 0.0, 0.0],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = scene.render(16, 16, 0.0, &mut rng);
+        assert_eq!(r.get(8, 8), [1.0, 0.0, 0.0]);
+        assert_eq!(r.get(0, 0), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn render_paints_ellipse_inside_only() {
+        let scene = SceneSpec {
+            background: [0.0, 0.0, 0.0],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Ellipse,
+                cx: 0.5,
+                cy: 0.5,
+                rx: 0.4,
+                ry: 0.2,
+                color: [0.0, 1.0, 0.0],
+            }],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = scene.render(32, 32, 0.0, &mut rng);
+        assert_eq!(r.get(16, 16), [0.0, 1.0, 0.0]);
+        // Corner of the bounding box is outside the ellipse.
+        assert_eq!(r.get(4, 10), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn later_regions_paint_over_earlier() {
+        let scene = SceneSpec {
+            background: [0.0; 3],
+            regions: vec![
+                RegionSpec {
+                    shape: RegionShape::Rect,
+                    cx: 0.5,
+                    cy: 0.5,
+                    rx: 0.5,
+                    ry: 0.5,
+                    color: [1.0, 0.0, 0.0],
+                },
+                RegionSpec {
+                    shape: RegionShape::Rect,
+                    cx: 0.5,
+                    cy: 0.5,
+                    rx: 0.1,
+                    ry: 0.1,
+                    color: [0.0, 0.0, 1.0],
+                },
+            ],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let r = scene.render(20, 20, 0.0, &mut rng);
+        assert_eq!(r.get(10, 10), [0.0, 0.0, 1.0]);
+        assert_eq!(r.get(2, 2), [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn noise_stays_in_range() {
+        let scene = SceneSpec {
+            background: [0.0, 1.0, 0.5],
+            regions: vec![],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let r = scene.render(8, 8, 0.3, &mut rng);
+        for p in r.pixels() {
+            for &c in p {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_raster_panics() {
+        let _ = Raster::filled(0, 4, [0.0; 3]);
+    }
+}

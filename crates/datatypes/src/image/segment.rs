@@ -1,0 +1,394 @@
+//! Color-based image segmentation (the JSEG stand-in).
+//!
+//! The paper uses the JSEG tool, which "reads in an image and outputs a
+//! matrix mapping each pixel to one of the segments" (§5.1). This module
+//! reproduces that interface with a classic pipeline: k-means color
+//! quantization, 4-connected component labeling, and small-region merging.
+
+use rand::Rng;
+
+use super::raster::Raster;
+
+/// A segmentation result: one label per pixel, labels in `0..num_segments`.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    labels: Vec<u32>,
+    width: usize,
+    height: usize,
+    num_segments: usize,
+}
+
+impl Segmentation {
+    /// The label of pixel `(x, y)`.
+    #[inline]
+    pub fn label(&self, x: usize, y: usize) -> u32 {
+        self.labels[y * self.width + x]
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.num_segments
+    }
+
+    /// Raster width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// All labels, row-major.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+}
+
+/// Segmentation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmenterParams {
+    /// Number of k-means color clusters.
+    pub color_clusters: usize,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+    /// Components smaller than this fraction of the image are merged into
+    /// their dominant neighbor.
+    pub min_region_fraction: f64,
+    /// Clusters whose centroids are closer than this (RGB Euclidean) are
+    /// merged into one color class before component labeling.
+    pub centroid_merge_threshold: f32,
+}
+
+impl Default for SegmenterParams {
+    fn default() -> Self {
+        Self {
+            color_clusters: 6,
+            kmeans_iters: 6,
+            min_region_fraction: 0.005,
+            centroid_merge_threshold: 0.16,
+        }
+    }
+}
+
+fn color_dist2(a: [f32; 3], b: [f32; 3]) -> f32 {
+    let d0 = a[0] - b[0];
+    let d1 = a[1] - b[1];
+    let d2 = a[2] - b[2];
+    d0 * d0 + d1 * d1 + d2 * d2
+}
+
+/// Merges k-means clusters whose centroids are nearly the same color, so a
+/// uniform region split by noise collapses back into one color class.
+fn merge_close_centroids(assign: &mut [u32], centroids: &[[f32; 3]], threshold: f32) {
+    let k = centroids.len();
+    // Union-find over clusters.
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let t2 = threshold * threshold;
+    for i in 0..k {
+        for j in i + 1..k {
+            if color_dist2(centroids[i], centroids[j]) < t2 {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+    for a in assign.iter_mut() {
+        *a = find(&mut parent, *a as usize) as u32;
+    }
+}
+
+/// Quantizes pixel colors with k-means; returns per-pixel cluster indices.
+fn kmeans<R: Rng>(
+    raster: &Raster,
+    params: &SegmenterParams,
+    rng: &mut R,
+) -> (Vec<u32>, Vec<[f32; 3]>) {
+    let pixels = raster.pixels();
+    let k = params.color_clusters.max(1).min(pixels.len());
+    // Initialize centroids from random pixels (deterministic via rng seed).
+    let mut centroids: Vec<[f32; 3]> = (0..k)
+        .map(|_| pixels[rng.random_range(0..pixels.len())])
+        .collect();
+    let mut assign = vec![0u32; pixels.len()];
+    for _ in 0..params.kmeans_iters {
+        // Assignment step.
+        for (i, p) in pixels.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = color_dist2(*p, *centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best as u32;
+        }
+        // Update step.
+        let mut sums = vec![[0.0f64; 3]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in pixels.iter().enumerate() {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            for ch in 0..3 {
+                sums[c][ch] += f64::from(p[ch]);
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for ch in 0..3 {
+                    centroids[c][ch] = (sums[c][ch] / counts[c] as f64) as f32;
+                }
+            } else {
+                // Re-seed an empty cluster.
+                centroids[c] = pixels[rng.random_range(0..pixels.len())];
+            }
+        }
+    }
+    (assign, centroids)
+}
+
+/// Labels 4-connected components of equal cluster index.
+fn connected_components(assign: &[u32], width: usize, height: usize) -> (Vec<u32>, usize) {
+    let mut labels = vec![u32::MAX; assign.len()];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..assign.len() {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let cluster = assign[start];
+        labels[start] = next;
+        stack.push(start);
+        while let Some(i) = stack.pop() {
+            let (x, y) = (i % width, i / width);
+            let mut visit = |nx: usize, ny: usize| {
+                let j = ny * width + nx;
+                if labels[j] == u32::MAX && assign[j] == cluster {
+                    labels[j] = next;
+                    stack.push(j);
+                }
+            };
+            if x > 0 {
+                visit(x - 1, y);
+            }
+            if x + 1 < width {
+                visit(x + 1, y);
+            }
+            if y > 0 {
+                visit(x, y - 1);
+            }
+            if y + 1 < height {
+                visit(x, y + 1);
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// Merges regions smaller than the threshold into the neighbor with the
+/// longest shared boundary, then compacts label ids.
+fn merge_small(
+    labels: &mut [u32],
+    width: usize,
+    height: usize,
+    num: usize,
+    min_size: usize,
+) -> usize {
+    loop {
+        let mut sizes = vec![0usize; num];
+        for &l in labels.iter() {
+            sizes[l as usize] += 1;
+        }
+        // Smallest undersized region.
+        let victim = (0..num)
+            .filter(|&l| sizes[l] > 0 && sizes[l] < min_size)
+            .min_by_key(|&l| sizes[l]);
+        let Some(victim) = victim else { break };
+        // Count boundary contacts with each neighboring region.
+        let mut contact = std::collections::HashMap::new();
+        for y in 0..height {
+            for x in 0..width {
+                if labels[y * width + x] != victim as u32 {
+                    continue;
+                }
+                let mut look = |nx: usize, ny: usize| {
+                    let l = labels[ny * width + nx];
+                    if l != victim as u32 {
+                        *contact.entry(l).or_insert(0usize) += 1;
+                    }
+                };
+                if x > 0 {
+                    look(x - 1, y);
+                }
+                if x + 1 < width {
+                    look(x + 1, y);
+                }
+                if y > 0 {
+                    look(x, y - 1);
+                }
+                if y + 1 < height {
+                    look(x, y + 1);
+                }
+            }
+        }
+        // Deterministic choice: longest boundary, ties to the smallest label.
+        let Some((&target, _)) = contact
+            .iter()
+            .max_by_key(|(&l, &c)| (c, std::cmp::Reverse(l)))
+        else {
+            // Isolated region filling the image; nothing to merge into.
+            break;
+        };
+        for l in labels.iter_mut() {
+            if *l == victim as u32 {
+                *l = target;
+            }
+        }
+    }
+    // Compact labels to 0..n.
+    let mut remap = std::collections::HashMap::new();
+    let mut next = 0u32;
+    for l in labels.iter_mut() {
+        let id = *remap.entry(*l).or_insert_with(|| {
+            let v = next;
+            next += 1;
+            v
+        });
+        *l = id;
+    }
+    next as usize
+}
+
+/// Segments a raster into homogeneous color regions.
+pub fn segment<R: Rng>(raster: &Raster, params: &SegmenterParams, rng: &mut R) -> Segmentation {
+    let (width, height) = (raster.width(), raster.height());
+    let (mut assign, centroids) = kmeans(raster, params, rng);
+    merge_close_centroids(&mut assign, &centroids, params.centroid_merge_threshold);
+    let (mut labels, num) = connected_components(&assign, width, height);
+    let min_size = ((width * height) as f64 * params.min_region_fraction).ceil() as usize;
+    let num = merge_small(&mut labels, width, height, num, min_size.max(2));
+    Segmentation {
+        labels,
+        width,
+        height,
+        num_segments: num,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::raster::{RegionShape, RegionSpec, SceneSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn two_region_scene() -> SceneSpec {
+        SceneSpec {
+            background: [0.1, 0.1, 0.9],
+            regions: vec![RegionSpec {
+                shape: RegionShape::Rect,
+                cx: 0.25,
+                cy: 0.5,
+                rx: 0.2,
+                ry: 0.45,
+                color: [0.9, 0.1, 0.1],
+            }],
+        }
+    }
+
+    #[test]
+    fn segments_two_clear_regions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let raster = two_region_scene().render(32, 32, 0.01, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        assert_eq!(seg.num_segments(), 2, "expected background + rectangle");
+        // The rectangle's center and the background corner get distinct labels.
+        assert_ne!(seg.label(8, 16), seg.label(31, 0));
+        assert_eq!(seg.width(), 32);
+        assert_eq!(seg.height(), 32);
+    }
+
+    #[test]
+    fn uniform_image_is_one_segment() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let scene = SceneSpec {
+            background: [0.4, 0.4, 0.4],
+            regions: vec![],
+        };
+        let raster = scene.render(16, 16, 0.0, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        assert_eq!(seg.num_segments(), 1);
+        assert!(seg.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn noise_speckles_are_merged_away() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let raster = two_region_scene().render(48, 48, 0.08, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        // Heavy noise, but small speckle components must be merged: expect
+        // a handful of segments, not hundreds.
+        assert!(
+            seg.num_segments() <= 6,
+            "too many segments: {}",
+            seg.num_segments()
+        );
+    }
+
+    #[test]
+    fn three_regions_separated() {
+        let scene = SceneSpec {
+            background: [0.05, 0.05, 0.05],
+            regions: vec![
+                RegionSpec {
+                    shape: RegionShape::Rect,
+                    cx: 0.2,
+                    cy: 0.2,
+                    rx: 0.15,
+                    ry: 0.15,
+                    color: [0.9, 0.1, 0.1],
+                },
+                RegionSpec {
+                    shape: RegionShape::Ellipse,
+                    cx: 0.75,
+                    cy: 0.7,
+                    rx: 0.18,
+                    ry: 0.18,
+                    color: [0.1, 0.9, 0.1],
+                },
+            ],
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let raster = scene.render(40, 40, 0.01, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        assert_eq!(seg.num_segments(), 3);
+        let l_bg = seg.label(0, 39);
+        let l_rect = seg.label(8, 8);
+        let l_ell = seg.label(30, 28);
+        assert_ne!(l_bg, l_rect);
+        assert_ne!(l_bg, l_ell);
+        assert_ne!(l_rect, l_ell);
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let raster = two_region_scene().render(24, 24, 0.05, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        let max = *seg.labels().iter().max().unwrap() as usize;
+        assert_eq!(max + 1, seg.num_segments());
+    }
+}

@@ -1,0 +1,184 @@
+//! Invariance and robustness properties of the data-type pipelines.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use ferret_core::distance::lp::L1;
+use ferret_core::distance::SegmentDistance;
+use ferret_core::plugin::Extractor;
+use ferret_datatypes::audio::{split_segments, AudioExtractor, SegmenterConfig};
+use ferret_datatypes::image::raster::{RegionShape, RegionSpec, SceneSpec};
+use ferret_datatypes::image::segment::{segment, SegmenterParams};
+use ferret_datatypes::image::ImageExtractor;
+use ferret_datatypes::shape::{Primitive, ShapeExtractor, ShapeSpec};
+
+/// Scaling a model uniformly must leave the spherical-harmonic descriptor
+/// (nearly) unchanged: the descriptor normalizes by the maximal radius.
+#[test]
+fn shape_descriptor_is_scale_invariant() {
+    let extractor = ShapeExtractor::with_grid(40);
+    let base = |s: f64| {
+        ShapeSpec::unrotated(vec![
+            Primitive::Cuboid {
+                center: [0.1 * s, 0.0, 0.0],
+                half: [0.5 * s, 0.12 * s, 0.12 * s],
+            },
+            Primitive::Ellipsoid {
+                center: [-0.2 * s, 0.15 * s, 0.0],
+                radii: [0.18 * s, 0.18 * s, 0.18 * s],
+            },
+        ])
+    };
+    let d1 = extractor.extract_spec(&base(1.0)).unwrap();
+    let d2 = extractor.extract_spec(&base(0.55)).unwrap();
+    let sphere = extractor
+        .extract_spec(&ShapeSpec::unrotated(vec![Primitive::Ellipsoid {
+            center: [0.0; 3],
+            radii: [0.5, 0.5, 0.5],
+        }]))
+        .unwrap();
+    let v = |o: &ferret_core::object::DataObject| o.segment(0).vector.components().to_vec();
+    let scale_dist = L1.eval(&v(&d1), &v(&d2));
+    let other_dist = L1.eval(&v(&d1), &v(&sphere));
+    assert!(
+        scale_dist < other_dist * 0.4,
+        "scaled dist {scale_dist} vs other-shape dist {other_dist}"
+    );
+}
+
+/// Translating a model must also leave the descriptor (nearly) unchanged:
+/// shells are centered on the center of mass.
+#[test]
+fn shape_descriptor_is_translation_invariant() {
+    let extractor = ShapeExtractor::with_grid(40);
+    let bar = |dx: f64, dy: f64| {
+        ShapeSpec::unrotated(vec![Primitive::Cuboid {
+            center: [dx, dy, 0.0],
+            half: [0.35, 0.1, 0.1],
+        }])
+    };
+    let d1 = extractor.extract_spec(&bar(0.0, 0.0)).unwrap();
+    let d2 = extractor.extract_spec(&bar(0.3, -0.25)).unwrap();
+    let sphere = extractor
+        .extract_spec(&ShapeSpec::unrotated(vec![Primitive::Ellipsoid {
+            center: [0.0; 3],
+            radii: [0.4, 0.4, 0.4],
+        }]))
+        .unwrap();
+    let v = |o: &ferret_core::object::DataObject| o.segment(0).vector.components().to_vec();
+    let translate_dist = L1.eval(&v(&d1), &v(&d2));
+    let other_dist = L1.eval(&v(&d1), &v(&sphere));
+    assert!(
+        translate_dist < other_dist * 0.4,
+        "translated dist {translate_dist} vs other-shape dist {other_dist}"
+    );
+}
+
+/// The image extractor must be insensitive to mirror-flipping noise seeds:
+/// the same scene rendered with two different noise realizations gives
+/// nearly identical features.
+#[test]
+fn image_features_robust_to_noise_realization() {
+    let scene = SceneSpec {
+        background: [0.15, 0.2, 0.75],
+        regions: vec![
+            RegionSpec {
+                shape: RegionShape::Rect,
+                cx: 0.3,
+                cy: 0.4,
+                rx: 0.2,
+                ry: 0.25,
+                color: [0.85, 0.2, 0.15],
+            },
+            RegionSpec {
+                shape: RegionShape::Ellipse,
+                cx: 0.7,
+                cy: 0.65,
+                rx: 0.18,
+                ry: 0.15,
+                color: [0.2, 0.8, 0.25],
+            },
+        ],
+    };
+    let extractor = ImageExtractor::new(3);
+    let mut rng1 = ChaCha8Rng::seed_from_u64(100);
+    let mut rng2 = ChaCha8Rng::seed_from_u64(200);
+    let o1 = extractor
+        .extract(&scene.render(48, 48, 0.02, &mut rng1))
+        .unwrap();
+    let o2 = extractor
+        .extract(&scene.render(48, 48, 0.02, &mut rng2))
+        .unwrap();
+    assert_eq!(o1.num_segments(), o2.num_segments());
+    // EMD between the two realizations is small compared to the spread of
+    // random scenes (≈ 2–6 in thresholded-l1 units).
+    let emd = ferret_core::distance::emd::Emd::new(L1);
+    use ferret_core::distance::ObjectDistance;
+    let d = emd.distance(&o1, &o2).unwrap();
+    assert!(d < 0.5, "noise realizations too far apart: {d}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Segmentation always yields compact labels covering the raster, and
+    /// the extractor always produces valid normalized objects.
+    #[test]
+    fn segmentation_always_valid(seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let scene = ferret_datatypes::image::random_scene(&mut rng);
+        let raster = scene.render(32, 32, 0.03, &mut rng);
+        let seg = segment(&raster, &SegmenterParams::default(), &mut rng);
+        let n = seg.num_segments();
+        prop_assert!(n >= 1);
+        let max = *seg.labels().iter().max().unwrap() as usize;
+        prop_assert_eq!(max + 1, n, "labels not compact");
+        // The extractor runs its own (differently seeded) segmentation;
+        // its object must still be valid and deterministic.
+        let extractor = ImageExtractor::new(seed);
+        let obj = extractor.extract(&raster).unwrap();
+        prop_assert!(obj.num_segments() >= 1);
+        prop_assert!((obj.total_weight() - 1.0).abs() < 1e-4);
+        prop_assert_eq!(&obj, &extractor.extract(&raster).unwrap());
+    }
+
+    /// The audio word splitter yields ordered, disjoint, in-bounds spans
+    /// on arbitrary piecewise signals.
+    #[test]
+    fn audio_splitter_spans_are_sane(
+        bursts in prop::collection::vec((200usize..4000, 200usize..4000), 1..6),
+    ) {
+        // Build alternating silence/noise bursts.
+        let mut pcm = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        use rand::Rng;
+        for (sil, act) in &bursts {
+            pcm.extend(std::iter::repeat_n(0.0f32, *sil));
+            for _ in 0..*act {
+                pcm.push(rng.random_range(-0.5f32..0.5));
+            }
+        }
+        let spans = split_segments(&pcm, &SegmenterConfig::word());
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlapping spans");
+        }
+        for s in &spans {
+            prop_assert!(s.start < s.end);
+            prop_assert!(s.end <= pcm.len());
+        }
+    }
+
+    /// Word features always have the fixed 192-d shape, whatever the input
+    /// length or content.
+    #[test]
+    fn audio_features_fixed_shape(len in 1usize..30_000, seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let pcm: Vec<f32> = (0..len).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let e = AudioExtractor::new();
+        let f = e.word_features(&pcm);
+        prop_assert_eq!(f.dim(), 192);
+        prop_assert!(f.components().iter().all(|c| c.is_finite()));
+    }
+}

@@ -1,0 +1,228 @@
+//! Search-quality metrics (paper §6.2): first tier, second tier, and
+//! average precision.
+//!
+//! All three metrics score a ranked result list against an unordered gold
+//! standard similarity set `Q` containing the query. The query itself is
+//! excluded from both the result list and the target set before scoring.
+
+use ferret_core::object::ObjectId;
+
+/// The three quality metrics of one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityScores {
+    /// Recall within the top `|Q| − 1` results.
+    pub first_tier: f64,
+    /// Recall within the top `2(|Q| − 1)` results.
+    pub second_tier: f64,
+    /// Rank-weighted precision: `(1/k) Σ_i i / rank_i`.
+    pub average_precision: f64,
+}
+
+/// Scores one query's ranked results against its gold similarity set.
+///
+/// * `query` — the seed object (a member of `gold`).
+/// * `gold` — the unordered similarity set, including the query.
+/// * `ranked` — result ids in rank order; may include the query, which is
+///   skipped.
+/// * `dataset_size` — total objects in the dataset; gold objects missing
+///   from `ranked` are assigned this rank ("a default rank equal to the
+///   size of the dataset").
+///
+/// Returns `None` if the gold set (excluding the query) is empty.
+pub fn score_query(
+    query: ObjectId,
+    gold: &[ObjectId],
+    ranked: &[ObjectId],
+    dataset_size: usize,
+) -> Option<QualityScores> {
+    let targets: Vec<ObjectId> = gold.iter().copied().filter(|&id| id != query).collect();
+    let k = targets.len();
+    if k == 0 {
+        return None;
+    }
+    // Ranks of results with the query removed, 1-based.
+    let mut rank_of = std::collections::HashMap::new();
+    let mut rank = 0usize;
+    for &id in ranked {
+        if id == query {
+            continue;
+        }
+        rank += 1;
+        rank_of.entry(id).or_insert(rank);
+    }
+    // Sorted ranks of the gold objects.
+    let mut gold_ranks: Vec<usize> = targets
+        .iter()
+        .map(|id| rank_of.get(id).copied().unwrap_or(dataset_size.max(rank + 1)))
+        .collect();
+    gold_ranks.sort_unstable();
+
+    let in_top = |top: usize| gold_ranks.iter().filter(|&&r| r <= top).count() as f64;
+    let first_tier = in_top(k) / k as f64;
+    let second_tier = in_top(2 * k) / k as f64;
+    // Average precision: the i-th best-ranked gold object contributes
+    // i / rank_i.
+    let average_precision = gold_ranks
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i + 1) as f64 / r as f64)
+        .sum::<f64>()
+        / k as f64;
+    Some(QualityScores {
+        first_tier,
+        second_tier,
+        average_precision,
+    })
+}
+
+/// Accumulates per-query scores into dataset-level averages.
+#[derive(Debug, Clone, Default)]
+pub struct QualityAccumulator {
+    count: usize,
+    first_tier: f64,
+    second_tier: f64,
+    average_precision: f64,
+}
+
+impl QualityAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one query's scores.
+    pub fn add(&mut self, scores: QualityScores) {
+        self.count += 1;
+        self.first_tier += scores.first_tier;
+        self.second_tier += scores.second_tier;
+        self.average_precision += scores.average_precision;
+    }
+
+    /// Number of queries accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The mean scores (`None` if nothing was accumulated).
+    pub fn mean(&self) -> Option<QualityScores> {
+        if self.count == 0 {
+            return None;
+        }
+        let n = self.count as f64;
+        Some(QualityScores {
+            first_tier: self.first_tier / n,
+            second_tier: self.second_tier / n,
+            average_precision: self.average_precision / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<ObjectId> {
+        v.iter().map(|&i| ObjectId(i)).collect()
+    }
+
+    /// The paper's worked example: Q = {q1, q2, q3}, query q1, top-2
+    /// results r1, q2 -> first tier 50%.
+    #[test]
+    fn paper_first_tier_example() {
+        let s = score_query(
+            ObjectId(1),
+            &ids(&[1, 2, 3]),
+            &ids(&[100, 2, 101, 102]),
+            1000,
+        )
+        .unwrap();
+        assert!((s.first_tier - 0.5).abs() < 1e-12);
+    }
+
+    /// Paper: top-4 results r1, q2, q3, r4 -> second tier 100%.
+    #[test]
+    fn paper_second_tier_example() {
+        let s = score_query(ObjectId(1), &ids(&[1, 2, 3]), &ids(&[100, 2, 3, 101]), 1000).unwrap();
+        assert!((s.second_tier - 1.0).abs() < 1e-12);
+        assert!((s.first_tier - 0.5).abs() < 1e-12);
+    }
+
+    /// Paper: results r1, q2, q3, r4 -> average precision
+    /// 1/2 · (1/2 + 2/3) = 0.583.
+    #[test]
+    fn paper_average_precision_example() {
+        let s = score_query(ObjectId(1), &ids(&[1, 2, 3]), &ids(&[100, 2, 3, 101]), 1000).unwrap();
+        assert!((s.average_precision - (0.5 * (0.5 + 2.0 / 3.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_results_score_one() {
+        let s = score_query(ObjectId(1), &ids(&[1, 2, 3, 4]), &ids(&[2, 3, 4, 99]), 10).unwrap();
+        assert_eq!(s.first_tier, 1.0);
+        assert_eq!(s.second_tier, 1.0);
+        assert!((s.average_precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_in_results_is_skipped() {
+        // The query itself leading the results must not consume a rank.
+        let s = score_query(ObjectId(1), &ids(&[1, 2]), &ids(&[1, 2]), 10).unwrap();
+        assert_eq!(s.first_tier, 1.0);
+        assert!((s.average_precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_gold_gets_dataset_rank() {
+        // Gold object 2 not returned at all: rank = dataset size (100).
+        let s = score_query(ObjectId(1), &ids(&[1, 2]), &ids(&[50, 51]), 100).unwrap();
+        assert_eq!(s.first_tier, 0.0);
+        assert_eq!(s.second_tier, 0.0);
+        assert!((s.average_precision - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_gold_set_is_none() {
+        assert!(score_query(ObjectId(1), &ids(&[1]), &ids(&[2]), 10).is_none());
+        assert!(score_query(ObjectId(1), &[], &ids(&[2]), 10).is_none());
+    }
+
+    #[test]
+    fn duplicate_result_ids_use_first_rank() {
+        let s = score_query(ObjectId(1), &ids(&[1, 2]), &ids(&[2, 3, 2]), 10).unwrap();
+        assert_eq!(s.first_tier, 1.0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = QualityAccumulator::new();
+        assert!(acc.mean().is_none());
+        acc.add(QualityScores {
+            first_tier: 1.0,
+            second_tier: 1.0,
+            average_precision: 1.0,
+        });
+        acc.add(QualityScores {
+            first_tier: 0.0,
+            second_tier: 0.5,
+            average_precision: 0.2,
+        });
+        let m = acc.mean().unwrap();
+        assert_eq!(acc.count(), 2);
+        assert!((m.first_tier - 0.5).abs() < 1e-12);
+        assert!((m.second_tier - 0.75).abs() < 1e-12);
+        assert!((m.average_precision - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        // Randomized sanity: scores always in [0, 1].
+        for shift in 0..20u64 {
+            let ranked: Vec<ObjectId> = (0..50).map(|i| ObjectId((i * 7 + shift) % 60)).collect();
+            let s = score_query(ObjectId(0), &ids(&[0, 5, 10, 15]), &ranked, 60).unwrap();
+            for v in [s.first_tier, s.second_tier, s.average_precision] {
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "score {v}");
+            }
+            assert!(s.second_tier >= s.first_tier);
+        }
+    }
+}

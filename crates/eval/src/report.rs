@@ -1,0 +1,146 @@
+//! Plain-text report rendering for experiment harnesses.
+//!
+//! The benchmark binaries print the paper's tables as aligned text; this
+//! module provides the small table renderer and numeric formatting they
+//! share.
+
+use std::time::Duration;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[c] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a duration compactly: `1.23 s`, `45.6 ms`, `789 µs`.
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.0} µs", secs * 1e6)
+    }
+}
+
+/// Formats a fraction with 2 decimals (`0.59`).
+pub fn format_score(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a size ratio (`4.7:1`).
+pub fn format_ratio(v: f64) -> String {
+    format!("{v:.1}:1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "2.345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at the same offset.
+        let off0 = lines[0].find("value").unwrap();
+        let off2 = lines[2].find('1').unwrap();
+        let off3 = lines[3].find("2.345").unwrap();
+        assert_eq!(off0, off2);
+        assert_eq!(off0, off3);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(format_duration(Duration::from_millis(45)), "45.00 ms");
+        assert_eq!(format_duration(Duration::from_micros(789)), "789 µs");
+    }
+
+    #[test]
+    fn score_and_ratio_formatting() {
+        assert_eq!(format_score(0.5912), "0.59");
+        assert_eq!(format_ratio(4.666), "4.7:1");
+    }
+}

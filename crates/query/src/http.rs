@@ -1,0 +1,389 @@
+//! Minimal web interface (paper §4.3).
+//!
+//! "The web interface provides users with a simple, yet platform
+//! independent way to issue query and present search results." The paper
+//! used a small Python web server speaking the command-line protocol; here
+//! a dependency-free HTTP/1.1 server maps `GET` endpoints onto the same
+//! service:
+//!
+//! * `GET /search?id=42&k=10&mode=filter&attr=<urlencoded>` → JSON results
+//! * `GET /attr?q=<urlencoded expression>` → JSON id list
+//! * `GET /stat` → JSON statistics
+//! * `GET /` → a small HTML query form
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::service::{FerretService, Response};
+
+/// Percent-decodes a URL component (`%41` → `A`, `+` → space).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                // Two hex digits must follow; otherwise keep the literal '%'.
+                if i + 3 <= bytes.len() {
+                    let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                    if let Ok(v) = u8::from_str_radix(hex, 16) {
+                        out.push(v);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses a query string into key/value pairs.
+pub fn parse_query_string(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|p| match p.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(p), String::new()),
+        })
+        .collect()
+}
+
+/// Escapes a string for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a service [`Response`] as JSON.
+pub fn response_to_json(resp: &Response) -> String {
+    match resp {
+        Response::Results(results) => {
+            let items: Vec<String> = results
+                .iter()
+                .map(|(id, d)| format!("{{\"id\":{},\"distance\":{:.6}}}", id.0, d))
+                .collect();
+            format!("{{\"ok\":true,\"results\":[{}]}}", items.join(","))
+        }
+        Response::Ids(ids) => {
+            let items: Vec<String> = ids.iter().map(|id| id.0.to_string()).collect();
+            format!("{{\"ok\":true,\"ids\":[{}]}}", items.join(","))
+        }
+        Response::Stat {
+            objects,
+            segments,
+            sketch_bytes,
+            feature_bytes,
+        } => format!(
+            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes}}}"
+        ),
+        Response::Help => format!(
+            "{{\"ok\":true,\"help\":\"{}\"}}",
+            json_escape(crate::protocol::HELP_TEXT)
+        ),
+        Response::Bye | Response::Ok => "{\"ok\":true}".to_string(),
+    }
+}
+
+const INDEX_HTML: &str = "<!DOCTYPE html>\n<html><head><title>Ferret similarity search</title></head>\n<body>\n<h1>Ferret similarity search</h1>\n<form action=\"/search\" method=\"get\">\n  seed object id: <input name=\"id\" value=\"0\">\n  results: <input name=\"k\" value=\"10\">\n  mode: <select name=\"mode\"><option>filter</option><option>sketch</option><option>brute</option></select>\n  attributes: <input name=\"attr\" value=\"\">\n  <button type=\"submit\">search</button>\n</form>\n<p>Endpoints: /search?id=&amp;k=&amp;mode=&amp;attr= &middot; /attr?q= &middot; /stat</p>\n</body></html>\n";
+
+fn http_reply(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Routes one HTTP request path (with query string) to a JSON/HTML reply.
+pub fn route(service: &Arc<RwLock<FerretService>>, path_and_query: &str) -> (String, String, String) {
+    let (path, qs) = match path_and_query.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path_and_query, ""),
+    };
+    let params = parse_query_string(qs);
+    let get = |key: &str| {
+        params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    match path {
+        "/" => (
+            "200 OK".into(),
+            "text/html; charset=utf-8".into(),
+            INDEX_HTML.into(),
+        ),
+        "/stat" => {
+            let mut svc = service.write();
+            match svc.execute(&crate::protocol::Command::Stat) {
+                Ok(resp) => ("200 OK".into(), "application/json".into(), response_to_json(&resp)),
+                Err(e) => error_json(&e.to_string()),
+            }
+        }
+        "/attr" => {
+            let Some(q) = get("q") else {
+                return error_json("missing q parameter");
+            };
+            let mut svc = service.write();
+            match svc.execute(&crate::protocol::Command::Attr { expression: q }) {
+                Ok(resp) => ("200 OK".into(), "application/json".into(), response_to_json(&resp)),
+                Err(e) => error_json(&e.to_string()),
+            }
+        }
+        "/search" => {
+            // Rebuild a protocol line and reuse its validation.
+            let mut line = String::from("query");
+            if let Some(id) = get("id") {
+                line.push_str(&format!(" id={id}"));
+            }
+            for key in ["k", "mode", "r", "cand", "threshold"] {
+                if let Some(v) = get(key) {
+                    line.push_str(&format!(" {key}={v}"));
+                }
+            }
+            if let Some(attr) = get("attr") {
+                if !attr.is_empty() {
+                    line.push_str(&format!(" attr=\"{attr}\""));
+                }
+            }
+            match crate::protocol::parse_command(&line) {
+                Ok(cmd) => {
+                    let mut svc = service.write();
+                    match svc.execute(&cmd) {
+                        Ok(resp) => (
+                            "200 OK".into(),
+                            "application/json".into(),
+                            response_to_json(&resp),
+                        ),
+                        Err(e) => error_json(&e.to_string()),
+                    }
+                }
+                Err(e) => error_json(&e.to_string()),
+            }
+        }
+        _ => (
+            "404 Not Found".into(),
+            "application/json".into(),
+            "{\"ok\":false,\"error\":\"not found\"}".into(),
+        ),
+    }
+}
+
+fn error_json(msg: &str) -> (String, String, String) {
+    (
+        "400 Bad Request".into(),
+        "application/json".into(),
+        format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(msg)),
+    )
+}
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Starts the web interface on `addr` (port 0 for ephemeral).
+    pub fn start(service: Arc<RwLock<FerretService>>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = serve_one(stream, &service);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        });
+        Ok(Self {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(stream: TcpStream, service: &Arc<RwLock<FerretService>>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    // Drain headers.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let reply = if method != "GET" {
+        http_reply(
+            "405 Method Not Allowed",
+            "application/json",
+            "{\"ok\":false,\"error\":\"GET only\"}",
+        )
+    } else {
+        let (status, ctype, body) = route(service, target);
+        http_reply(&status, &ctype, &body)
+    };
+    writer.write_all(reply.as_bytes())?;
+    writer.flush()
+}
+
+/// Fetches `path` from a running [`HttpServer`] (test/tooling helper).
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or((response.as_str(), ""));
+    let status = head.lines().next().unwrap_or("").to_string();
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferret_core::engine::EngineConfig;
+    use ferret_core::object::{DataObject, ObjectId};
+    use ferret_core::sketch::SketchParams;
+    use ferret_core::vector::FeatureVector;
+    use ferret_attr::AttrsBuilder;
+
+    fn service() -> Arc<RwLock<FerretService>> {
+        let config = EngineConfig::basic(
+            SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(),
+            3,
+        );
+        let mut svc = FerretService::in_memory(config);
+        for i in 0..4u64 {
+            let x = 0.1 + i as f32 * 0.25;
+            svc.insert(
+                ObjectId(i),
+                DataObject::single(FeatureVector::new(vec![x, x]).unwrap()),
+                Some(AttrsBuilder::new().keyword("parity", if i % 2 == 0 { "even" } else { "odd" }).build()),
+            )
+            .unwrap();
+        }
+        Arc::new(RwLock::new(svc))
+    }
+
+    #[test]
+    fn url_decoding() {
+        assert_eq!(url_decode("a+b%3Ac"), "a b:c");
+        assert_eq!(url_decode("plain"), "plain");
+        assert_eq!(url_decode("%zz"), "%zz");
+        assert_eq!(url_decode("trailing%"), "trailing%");
+        assert_eq!(
+            parse_query_string("id=1&attr=a%20b&flag"),
+            vec![
+                ("id".to_string(), "1".to_string()),
+                ("attr".to_string(), "a b".to_string()),
+                ("flag".to_string(), String::new())
+            ]
+        );
+    }
+
+    #[test]
+    fn routes_without_network() {
+        let svc = service();
+        let (status, _, body) = route(&svc, "/stat");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"objects\":4"), "{body}");
+        let (status, _, body) = route(&svc, "/search?id=0&k=2&mode=brute");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"id\":0"), "{body}");
+        let (status, _, body) = route(&svc, "/attr?q=parity%3Aeven");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"ids\":[0,2]"), "{body}");
+        let (status, _, _) = route(&svc, "/nope");
+        assert_eq!(status, "404 Not Found");
+        let (status, _, body) = route(&svc, "/search?id=99");
+        assert_eq!(status, "400 Bad Request");
+        assert!(body.contains("unknown object"), "{body}");
+        let (_, ctype, body) = route(&svc, "/");
+        assert!(ctype.contains("text/html"));
+        assert!(body.contains("<form"));
+    }
+
+    #[test]
+    fn http_server_end_to_end() {
+        let server = HttpServer::start(service(), "127.0.0.1:0").unwrap();
+        let (status, body) = http_get(server.addr(), "/search?id=1&k=2&mode=sketch").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with("{\"ok\":true"), "{body}");
+        let (status, body) = http_get(server.addr(), "/stat").unwrap();
+        assert!(status.contains("200"));
+        assert!(body.contains("\"segments\":4"));
+        server.stop();
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,338 @@
+//! The command-line query protocol (paper §4.1.4).
+//!
+//! A line-oriented text protocol "designed to process client queries with
+//! various parameters including the number of results to return, filter
+//! parameters, and attributes". One command per line:
+//!
+//! ```text
+//! query id=42 k=10 mode=filter r=2 cand=40 attr="collection:corel"
+//! attr collection:corel AND caption:dog
+//! delete id=42
+//! stat
+//! help
+//! quit
+//! ```
+
+use ferret_core::engine::QueryMode;
+use ferret_core::filter::FilterParams;
+use ferret_core::object::ObjectId;
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Similarity query seeded by a stored object.
+    Query {
+        /// Seed object id.
+        id: ObjectId,
+        /// Number of results.
+        k: usize,
+        /// Traversal mode.
+        mode: QueryMode,
+        /// Filtering parameters.
+        filter: FilterParams,
+        /// Optional attribute pre-filter expression.
+        attr: Option<String>,
+        /// Optional adjusted query segment weights (paper §4.1.4).
+        weights: Option<Vec<f32>>,
+    },
+    /// Attribute-only search.
+    Attr {
+        /// The attribute query expression.
+        expression: String,
+    },
+    /// Remove an object.
+    Delete {
+        /// The object to remove.
+        id: ObjectId,
+    },
+    /// Engine statistics.
+    Stat,
+    /// Usage help.
+    Help,
+    /// Close the session.
+    Quit,
+}
+
+/// A protocol parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Splits a command line into whitespace-separated tokens, honoring
+/// double-quoted values in `key="..."` arguments.
+fn tokenize(line: &str) -> Result<Vec<String>, ProtocolError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut quoted = false;
+    for c in line.chars() {
+        match c {
+            '"' => quoted = !quoted,
+            c if c.is_whitespace() && !quoted => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if quoted {
+        return Err(ProtocolError("unterminated quote".into()));
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    Ok(tokens)
+}
+
+fn parse_kv(token: &str) -> Result<(&str, &str), ProtocolError> {
+    token
+        .split_once('=')
+        .ok_or_else(|| ProtocolError(format!("expected key=value, got {token:?}")))
+}
+
+/// Parses one protocol line.
+pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
+    let tokens = tokenize(line)?;
+    let Some(verb) = tokens.first() else {
+        return Err(ProtocolError("empty command".into()));
+    };
+    match verb.as_str() {
+        "query" => {
+            let mut id: Option<u64> = None;
+            let mut k = 10usize;
+            let mut mode = QueryMode::Filtering;
+            let mut filter = FilterParams::default();
+            let mut attr = None;
+            let mut weights = None;
+            for token in &tokens[1..] {
+                let (key, value) = parse_kv(token)?;
+                match key {
+                    "id" => {
+                        id = Some(value.parse().map_err(|_| {
+                            ProtocolError(format!("invalid id {value:?}"))
+                        })?);
+                    }
+                    "k" => {
+                        k = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid k {value:?}")))?;
+                    }
+                    "mode" => {
+                        mode = match value {
+                            "brute" | "brute-force-original" => QueryMode::BruteForceOriginal,
+                            "sketch" | "brute-force-sketch" => QueryMode::BruteForceSketch,
+                            "filter" | "filtering" => QueryMode::Filtering,
+                            other => {
+                                return Err(ProtocolError(format!("unknown mode {other:?}")));
+                            }
+                        };
+                    }
+                    "r" => {
+                        filter.query_segments = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid r {value:?}")))?;
+                    }
+                    "cand" => {
+                        filter.candidates_per_segment = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid cand {value:?}")))?;
+                    }
+                    "threshold" => {
+                        filter.base_threshold = Some(value.parse().map_err(|_| {
+                            ProtocolError(format!("invalid threshold {value:?}"))
+                        })?);
+                    }
+                    "attr" => attr = Some(value.to_string()),
+                    "weights" => {
+                        let parsed: Result<Vec<f32>, _> =
+                            value.split(',').map(str::parse::<f32>).collect();
+                        weights = Some(parsed.map_err(|_| {
+                            ProtocolError(format!("invalid weights {value:?}"))
+                        })?);
+                    }
+                    other => {
+                        return Err(ProtocolError(format!("unknown parameter {other:?}")));
+                    }
+                }
+            }
+            let id = id.ok_or_else(|| ProtocolError("query requires id=<n>".into()))?;
+            Ok(Command::Query {
+                id: ObjectId(id),
+                k,
+                mode,
+                filter,
+                attr,
+                weights,
+            })
+        }
+        "attr" => {
+            if tokens.len() < 2 {
+                return Err(ProtocolError("attr requires an expression".into()));
+            }
+            Ok(Command::Attr {
+                expression: tokens[1..].join(" "),
+            })
+        }
+        "delete" => {
+            let mut id = None;
+            for token in &tokens[1..] {
+                let (key, value) = parse_kv(token)?;
+                if key == "id" {
+                    id = Some(value.parse().map_err(|_| {
+                        ProtocolError(format!("invalid id {value:?}"))
+                    })?);
+                }
+            }
+            let id = id.ok_or_else(|| ProtocolError("delete requires id=<n>".into()))?;
+            Ok(Command::Delete { id: ObjectId(id) })
+        }
+        "stat" => Ok(Command::Stat),
+        "help" => Ok(Command::Help),
+        "quit" | "exit" => Ok(Command::Quit),
+        other => Err(ProtocolError(format!("unknown command {other:?}"))),
+    }
+}
+
+/// The help text returned for `help`.
+pub const HELP_TEXT: &str = "\
+commands:
+  query id=<n> [k=<n>] [mode=brute|sketch|filter] [r=<n>] [cand=<n>] [threshold=<bits>] [attr=\"<expr>\"] [weights=<w1,w2,...>]
+  attr <expression>
+  delete id=<n>
+  stat
+  help
+  quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal_query() {
+        let cmd = parse_command("query id=42").unwrap();
+        match cmd {
+            Command::Query {
+                id, k, mode, attr, ..
+            } => {
+                assert_eq!(id, ObjectId(42));
+                assert_eq!(k, 10);
+                assert_eq!(mode, QueryMode::Filtering);
+                assert!(attr.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_full_query() {
+        let cmd = parse_command(
+            "query id=7 k=25 mode=sketch r=3 cand=80 threshold=12 attr=\"collection:corel AND dog\"",
+        )
+        .unwrap();
+        match cmd {
+            Command::Query {
+                id,
+                k,
+                mode,
+                filter,
+                attr,
+                ..
+            } => {
+                assert_eq!(id, ObjectId(7));
+                assert_eq!(k, 25);
+                assert_eq!(mode, QueryMode::BruteForceSketch);
+                assert_eq!(filter.query_segments, 3);
+                assert_eq!(filter.candidates_per_segment, 80);
+                assert_eq!(filter.base_threshold, Some(12));
+                assert_eq!(attr.as_deref(), Some("collection:corel AND dog"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_mode_aliases() {
+        for (alias, mode) in [
+            ("brute", QueryMode::BruteForceOriginal),
+            ("brute-force-original", QueryMode::BruteForceOriginal),
+            ("sketch", QueryMode::BruteForceSketch),
+            ("filtering", QueryMode::Filtering),
+        ] {
+            match parse_command(&format!("query id=1 mode={alias}")).unwrap() {
+                Command::Query { mode: m, .. } => assert_eq!(m, mode, "{alias}"),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_other_commands() {
+        assert_eq!(
+            parse_command("attr collection:corel AND dog").unwrap(),
+            Command::Attr {
+                expression: "collection:corel AND dog".into()
+            }
+        );
+        assert_eq!(
+            parse_command("delete id=9").unwrap(),
+            Command::Delete { id: ObjectId(9) }
+        );
+        assert_eq!(parse_command("stat").unwrap(), Command::Stat);
+        assert_eq!(parse_command("help").unwrap(), Command::Help);
+        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+        assert_eq!(parse_command("exit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "   ",
+            "frobnicate",
+            "query",
+            "query id=abc",
+            "query id=1 k=x",
+            "query id=1 mode=warp",
+            "query id=1 bogus=3",
+            "query id=1 attr=\"unterminated",
+            "delete",
+            "delete id=zz",
+            "attr",
+            "query id",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_weights() {
+        match parse_command("query id=1 weights=0.5,0.25,0.25").unwrap() {
+            Command::Query { weights, .. } => {
+                assert_eq!(weights, Some(vec![0.5, 0.25, 0.25]));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_command("query id=1 weights=a,b").is_err());
+        assert!(parse_command("query id=1 weights=").is_err());
+    }
+
+    #[test]
+    fn quoted_values_keep_spaces() {
+        let toks = tokenize("a=\"x y z\" b=2").unwrap();
+        assert_eq!(toks, vec!["a=x y z", "b=2"]);
+    }
+
+    #[test]
+    fn help_text_lists_commands() {
+        for verb in ["query", "attr", "delete", "stat", "help", "quit"] {
+            assert!(HELP_TEXT.contains(verb), "{verb} missing from help");
+        }
+    }
+}

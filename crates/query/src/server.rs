@@ -1,0 +1,260 @@
+//! TCP line-protocol server.
+//!
+//! "When the core components of the toolkit run as a server, we found it
+//! very convenient to allow clients to issue queries" (paper §4.1.4). The
+//! server speaks the command-line protocol over TCP, one command per line,
+//! one thread per connection over a shared service.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::service::FerretService;
+
+/// A running TCP server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts serving `service` on `addr` (use port 0 for an ephemeral
+    /// port). Returns once the listener is bound.
+    pub fn start(service: Arc<RwLock<FerretService>>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_accept = Arc::clone(&shutdown);
+        // Nonblocking accept loop so shutdown is prompt.
+        listener.set_nonblocking(true)?;
+        let handle = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            loop {
+                if shutdown_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let svc = Arc::clone(&service);
+                        let stop = Arc::clone(&shutdown_accept);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = handle_connection(stream, svc, stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(Self {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: Arc<RwLock<FerretService>>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"ferret ready\n")?;
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF.
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let reply = service.write().execute_line(trimmed);
+                writer.write_all(reply.as_bytes())?;
+                writer.flush()?;
+                if reply.starts_with("OK bye") {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// A minimal blocking client for the line protocol (used by tools, tests,
+/// and the web interface).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects and consumes the greeting line.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting)?;
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one command and reads the full response.
+    ///
+    /// The first line is `OK <n>` / `OK <tag>` / `ERR <msg>`; `n` further
+    /// payload lines follow for numeric statuses, and help responses are
+    /// read until their known length.
+    pub fn send(&mut self, command: &str) -> std::io::Result<String> {
+        self.writer.write_all(command.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut status = String::new();
+        self.reader.read_line(&mut status)?;
+        let mut out = status.clone();
+        let mut extra_lines = 0usize;
+        if let Some(rest) = status.strip_prefix("OK ") {
+            let tag = rest.trim();
+            if let Ok(n) = tag.parse::<usize>() {
+                extra_lines = n;
+            } else if tag == "help" {
+                extra_lines = crate::protocol::HELP_TEXT.lines().count();
+            }
+        }
+        for _ in 0..extra_lines {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            out.push_str(&line);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferret_core::engine::EngineConfig;
+    use ferret_core::object::{DataObject, ObjectId};
+    use ferret_core::sketch::SketchParams;
+    use ferret_core::vector::FeatureVector;
+
+    fn service() -> Arc<RwLock<FerretService>> {
+        let config = EngineConfig::basic(
+            SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(),
+            3,
+        );
+        let mut svc = FerretService::in_memory(config);
+        for i in 0..5u64 {
+            let x = 0.1 + i as f32 * 0.2;
+            svc.insert(
+                ObjectId(i),
+                DataObject::single(FeatureVector::new(vec![x, x]).unwrap()),
+                None,
+            )
+            .unwrap();
+        }
+        Arc::new(RwLock::new(svc))
+    }
+
+    #[test]
+    fn query_over_tcp() {
+        let server = Server::start(service(), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client.send("query id=0 k=2 mode=brute").unwrap();
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines[0], "OK 2");
+        assert!(lines[1].starts_with("0 "));
+        assert!(lines[2].starts_with("1 "));
+        server.stop();
+    }
+
+    #[test]
+    fn multiple_commands_one_connection() {
+        let server = Server::start(service(), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(client.send("stat").unwrap().contains("objects 5"));
+        assert!(client.send("help").unwrap().contains("delete id=<n>"));
+        assert!(client.send("bogus").unwrap().starts_with("ERR"));
+        assert!(client.send("quit").unwrap().starts_with("OK bye"));
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Server::start(service(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    for _ in 0..5 {
+                        let reply = c.send("query id=1 k=3 mode=sketch").unwrap();
+                        assert!(reply.starts_with("OK 3"), "{reply}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn mutation_over_tcp_is_shared() {
+        let svc = service();
+        let server = Server::start(Arc::clone(&svc), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.send("delete id=4").unwrap(), "OK\n");
+        assert_eq!(svc.read().engine().len(), 4);
+        server.stop();
+    }
+}

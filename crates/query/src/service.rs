@@ -1,0 +1,464 @@
+//! The Ferret search service: core engine + attribute search + persistent
+//! metadata, behind a single command-execution interface.
+//!
+//! This is the composition point of the toolkit: feature vectors,
+//! attributes, and object mappings are stored transactionally (paper
+//! §4.1.3 — "all the updates to the metadata associated with the same
+//! object are protected by database transactions"), the sketch database is
+//! rebuilt deterministically on open, and attribute queries can restrict
+//! similarity searches (§4.1.2).
+
+use std::collections::HashSet;
+
+use ferret_attr::{Attributes, AttrStore};
+use ferret_core::codec::{decode_object, encode_object};
+use ferret_core::engine::{EngineConfig, QueryOptions, QueryResponse, SearchEngine};
+use ferret_core::error::CoreError;
+use ferret_core::object::{DataObject, ObjectId};
+use ferret_store::{Database, DbOptions, StoreError};
+
+use crate::protocol::{Command, ProtocolError, HELP_TEXT};
+
+/// The table original feature-vector metadata lives in.
+pub const FEATURES_TABLE: &str = "features";
+
+/// Errors surfaced by the service.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Engine-level error.
+    Core(CoreError),
+    /// Storage-level error.
+    Store(StoreError),
+    /// Protocol or attribute-expression error.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Core(e) => write!(f, "{e}"),
+            ServiceError::Store(e) => write!(f, "{e}"),
+            ServiceError::BadRequest(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+impl From<ProtocolError> for ServiceError {
+    fn from(e: ProtocolError) -> Self {
+        ServiceError::BadRequest(e.to_string())
+    }
+}
+
+/// A structured command response, renderable as protocol text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ranked similarity results: `(id, distance)`.
+    Results(Vec<(ObjectId, f64)>),
+    /// Attribute search hits.
+    Ids(Vec<ObjectId>),
+    /// Statistics summary.
+    Stat {
+        /// Stored objects.
+        objects: usize,
+        /// Stored segments.
+        segments: usize,
+        /// Sketch metadata bytes.
+        sketch_bytes: usize,
+        /// Feature-vector metadata bytes.
+        feature_bytes: usize,
+    },
+    /// Help text.
+    Help,
+    /// Session close acknowledgment.
+    Bye,
+    /// Generic acknowledgment.
+    Ok,
+}
+
+impl Response {
+    /// Renders the protocol text form (one `OK`/`ERR` status line plus
+    /// payload lines).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Results(results) => {
+                let mut out = format!("OK {}\n", results.len());
+                for (id, d) in results {
+                    out.push_str(&format!("{} {:.6}\n", id.0, d));
+                }
+                out
+            }
+            Response::Ids(ids) => {
+                let mut out = format!("OK {}\n", ids.len());
+                for id in ids {
+                    out.push_str(&format!("{}\n", id.0));
+                }
+                out
+            }
+            Response::Stat {
+                objects,
+                segments,
+                sketch_bytes,
+                feature_bytes,
+            } => {
+                format!(
+                    "OK 4\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\n"
+                )
+            }
+            Response::Help => format!("OK help\n{HELP_TEXT}\n"),
+            Response::Bye => "OK bye\n".to_string(),
+            Response::Ok => "OK\n".to_string(),
+        }
+    }
+}
+
+/// The composed search service.
+pub struct FerretService {
+    engine: SearchEngine,
+    attrs: AttrStore,
+    db: Option<Database>,
+}
+
+impl FerretService {
+    /// Creates an in-memory service (no persistence).
+    pub fn in_memory(config: EngineConfig) -> Self {
+        Self {
+            engine: SearchEngine::new(config),
+            attrs: AttrStore::new(),
+            db: None,
+        }
+    }
+
+    /// Opens (or creates) a persistent service in `dir`, recovering all
+    /// objects and attributes and rebuilding sketches deterministically.
+    pub fn open(
+        dir: &std::path::Path,
+        config: EngineConfig,
+        db_options: DbOptions,
+    ) -> Result<Self, ServiceError> {
+        let db = Database::open_with(dir, db_options)?;
+        let mut engine = SearchEngine::new(config);
+        for (key, value) in db.iter_table(FEATURES_TABLE) {
+            if key.len() != 8 {
+                return Err(ServiceError::Store(StoreError::Corrupt(
+                    "feature key not 8 bytes".into(),
+                )));
+            }
+            let id = ObjectId(u64::from_le_bytes(key.try_into().expect("len 8")));
+            let obj = decode_object(value)?;
+            engine.insert(id, obj)?;
+        }
+        let attrs = AttrStore::load(&db)?;
+        Ok(Self {
+            engine,
+            attrs,
+            db: Some(db),
+        })
+    }
+
+    /// The underlying engine (read access).
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// The attribute store (read access).
+    pub fn attrs(&self) -> &AttrStore {
+        &self.attrs
+    }
+
+    /// Inserts an object with optional attributes; all metadata updates for
+    /// the object commit in one transaction when persistent.
+    pub fn insert(
+        &mut self,
+        id: ObjectId,
+        object: DataObject,
+        attributes: Option<Attributes>,
+    ) -> Result<(), ServiceError> {
+        self.engine.insert(id, object.clone())?;
+        if let Some(db) = self.db.as_mut() {
+            let mut txn = db.begin();
+            txn.put(FEATURES_TABLE, &id.0.to_le_bytes(), &encode_object(&object));
+            if let Some(attrs) = &attributes {
+                txn.put(
+                    ferret_attr::ATTR_TABLE,
+                    &id.0.to_le_bytes(),
+                    &ferret_attr::store::encode_attributes(attrs)?,
+                );
+            }
+            if let Err(e) = txn.commit() {
+                // Roll the engine back so memory matches storage.
+                self.engine.remove(id);
+                return Err(e.into());
+            }
+        }
+        if let Some(attrs) = attributes {
+            // Persistence (when durable) happened in the object transaction
+            // above; here only the in-memory index is updated.
+            self.attrs.index_mut().insert(id, attrs);
+        }
+        Ok(())
+    }
+
+    /// Removes an object and its attributes.
+    pub fn remove(&mut self, id: ObjectId) -> Result<bool, ServiceError> {
+        let present = self.engine.remove(id);
+        if let Some(db) = self.db.as_mut() {
+            let mut txn = db.begin();
+            txn.delete(FEATURES_TABLE, &id.0.to_le_bytes());
+            txn.delete(ferret_attr::ATTR_TABLE, &id.0.to_le_bytes());
+            txn.commit()?;
+        }
+        self.attrs.index_mut().remove(id);
+        Ok(present)
+    }
+
+    /// Re-sketches the whole index with parameters derived from the stored
+    /// data (per-dimension min/max), keeping `nbits`/`xor_folds`. No-op on
+    /// an empty index. The paper's evaluation tool exists exactly for this
+    /// tuning loop (§4.3).
+    pub fn retune_sketches(
+        &mut self,
+        nbits: usize,
+        xor_folds: usize,
+        seed: u64,
+    ) -> Result<(), ServiceError> {
+        if self.engine.is_empty() {
+            return Ok(());
+        }
+        let params = self.engine.derive_sketch_params(nbits, xor_folds)?;
+        self.engine = self.engine.rebuild(params, seed)?;
+        Ok(())
+    }
+
+    /// Flushes buffered commits (persistent services only).
+    pub fn flush(&mut self) -> Result<(), ServiceError> {
+        if let Some(db) = self.db.as_mut() {
+            db.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints the metadata store (persistent services only).
+    pub fn checkpoint(&mut self) -> Result<(), ServiceError> {
+        if let Some(db) = self.db.as_mut() {
+            db.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Runs a similarity query seeded by a stored object, optionally
+    /// restricted by an attribute expression.
+    pub fn query(
+        &self,
+        seed: ObjectId,
+        mut options: QueryOptions,
+        attr_expr: Option<&str>,
+    ) -> Result<QueryResponse, ServiceError> {
+        if let Some(expr) = attr_expr {
+            let hits: HashSet<ObjectId> = self
+                .attrs
+                .search_str(expr)
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            options.restrict = Some(hits);
+        }
+        Ok(self.engine.query_by_id(seed, &options)?)
+    }
+
+    /// Executes one parsed protocol command.
+    pub fn execute(&mut self, command: &Command) -> Result<Response, ServiceError> {
+        match command {
+            Command::Query {
+                id,
+                k,
+                mode,
+                filter,
+                attr,
+                weights,
+            } => {
+                let options = QueryOptions {
+                    k: *k,
+                    mode: *mode,
+                    filter: filter.clone(),
+                    weight_override: weights.clone(),
+                    ..QueryOptions::default()
+                };
+                let resp = self.query(*id, options, attr.as_deref())?;
+                Ok(Response::Results(
+                    resp.results.iter().map(|r| (r.id, r.distance)).collect(),
+                ))
+            }
+            Command::Attr { expression } => {
+                let mut hits: Vec<ObjectId> = self
+                    .attrs
+                    .search_str(expression)
+                    .map_err(|e| ServiceError::BadRequest(e.to_string()))?
+                    .into_iter()
+                    .collect();
+                hits.sort();
+                Ok(Response::Ids(hits))
+            }
+            Command::Delete { id } => {
+                if self.remove(*id)? {
+                    Ok(Response::Ok)
+                } else {
+                    Err(ServiceError::BadRequest(format!("unknown object {}", id.0)))
+                }
+            }
+            Command::Stat => {
+                let fp = self.engine.metadata_footprint();
+                Ok(Response::Stat {
+                    objects: self.engine.len(),
+                    segments: fp.segments,
+                    sketch_bytes: fp.sketch_bytes,
+                    feature_bytes: fp.feature_vector_bytes,
+                })
+            }
+            Command::Help => Ok(Response::Help),
+            Command::Quit => Ok(Response::Bye),
+        }
+    }
+
+    /// Parses and executes one protocol line, rendering the response (or an
+    /// `ERR` line) as text.
+    pub fn execute_line(&mut self, line: &str) -> String {
+        match crate::protocol::parse_command(line) {
+            Ok(cmd) => match self.execute(&cmd) {
+                Ok(resp) => resp.render(),
+                Err(e) => format!("ERR {e}\n"),
+            },
+            Err(e) => format!("ERR {e}\n"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferret_attr::AttrsBuilder;
+    use ferret_core::sketch::SketchParams;
+    use ferret_core::vector::FeatureVector;
+    use ferret_store::Durability;
+
+    fn config() -> EngineConfig {
+        EngineConfig::basic(
+            SketchParams::new(128, vec![0.0; 3], vec![1.0; 3]).unwrap(),
+            7,
+        )
+    }
+
+    fn obj(x: f32) -> DataObject {
+        DataObject::single(FeatureVector::new(vec![x, x, x]).unwrap())
+    }
+
+    fn populated() -> FerretService {
+        let mut svc = FerretService::in_memory(config());
+        for i in 0..6u64 {
+            let attrs = AttrsBuilder::new()
+                .keyword("group", if i < 3 { "low" } else { "high" })
+                .int("idx", i as i64)
+                .build();
+            svc.insert(ObjectId(i), obj(0.1 + 0.15 * i as f32), Some(attrs))
+                .unwrap();
+        }
+        svc
+    }
+
+    #[test]
+    fn query_via_protocol() {
+        let mut svc = populated();
+        let out = svc.execute_line("query id=0 k=2 mode=brute");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "OK 2");
+        assert!(lines[1].starts_with("0 "), "self first: {out}");
+        assert!(lines[2].starts_with("1 "), "nearest second: {out}");
+    }
+
+    #[test]
+    fn attr_restricted_query() {
+        let mut svc = populated();
+        // Restrict to group=high (ids 3,4,5): nearest to 0 is then 3.
+        let out = svc.execute_line("query id=0 k=1 mode=brute attr=\"group:high\"");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "OK 1");
+        assert!(lines[1].starts_with("3 "), "{out}");
+    }
+
+    #[test]
+    fn attr_only_search() {
+        let mut svc = populated();
+        let out = svc.execute_line("attr group:low");
+        assert_eq!(out.lines().next().unwrap(), "OK 3");
+        let out = svc.execute_line("attr idx>=4");
+        assert_eq!(out.lines().next().unwrap(), "OK 2");
+    }
+
+    #[test]
+    fn stat_help_quit_delete() {
+        let mut svc = populated();
+        let out = svc.execute_line("stat");
+        assert!(out.contains("objects 6"), "{out}");
+        assert!(svc.execute_line("help").contains("query id=<n>"));
+        assert_eq!(svc.execute_line("quit"), "OK bye\n");
+        assert_eq!(svc.execute_line("delete id=5"), "OK\n");
+        assert!(svc.execute_line("delete id=5").starts_with("ERR"));
+        let out = svc.execute_line("stat");
+        assert!(out.contains("objects 5"), "{out}");
+    }
+
+    #[test]
+    fn errors_render_as_err_lines() {
+        let mut svc = populated();
+        assert!(svc.execute_line("nonsense").starts_with("ERR"));
+        assert!(svc.execute_line("query id=99").starts_with("ERR"));
+        assert!(svc.execute_line("query id=0 attr=\"((\"").starts_with("ERR"));
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ferret-svc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db_opts = DbOptions {
+            durability: Durability::Sync,
+            checkpoint_every: None,
+        };
+        {
+            let mut svc = FerretService::open(&dir, config(), db_opts).unwrap();
+            svc.insert(
+                ObjectId(1),
+                obj(0.2),
+                Some(AttrsBuilder::new().keyword("tag", "keep").build()),
+            )
+            .unwrap();
+            svc.insert(ObjectId(2), obj(0.8), None).unwrap();
+            svc.insert(ObjectId(3), obj(0.5), None).unwrap();
+            svc.remove(ObjectId(3)).unwrap();
+            svc.checkpoint().unwrap();
+        }
+        let mut svc = FerretService::open(&dir, config(), db_opts).unwrap();
+        assert_eq!(svc.engine().len(), 2);
+        let out = svc.execute_line("query id=1 k=2 mode=brute");
+        assert!(out.starts_with("OK 2"), "{out}");
+        let out = svc.execute_line("attr tag:keep");
+        assert_eq!(out, "OK 1\n1\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut svc = populated();
+        assert!(svc.insert(ObjectId(0), obj(0.5), None).is_err());
+    }
+}

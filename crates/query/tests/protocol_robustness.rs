@@ -1,0 +1,99 @@
+//! Property-based robustness tests for the command protocol: arbitrary
+//! input must never panic the parser or the service, and valid commands
+//! must roundtrip through a live service.
+
+use proptest::prelude::*;
+
+use ferret_core::engine::EngineConfig;
+use ferret_core::object::{DataObject, ObjectId};
+use ferret_core::sketch::SketchParams;
+use ferret_core::vector::FeatureVector;
+use ferret_query::{parse_command, FerretService};
+
+fn service(n: u64) -> FerretService {
+    let config = EngineConfig::basic(
+        SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(),
+        5,
+    );
+    let mut svc = FerretService::in_memory(config);
+    for i in 0..n {
+        let x = (i as f32 + 0.5) / n as f32;
+        svc.insert(
+            ObjectId(i),
+            DataObject::single(FeatureVector::new(vec![x, 1.0 - x]).unwrap()),
+            Some(
+                ferret_attr::AttrsBuilder::new()
+                    .int("idx", i as i64)
+                    .keyword("tag", "t")
+                    .build(),
+            ),
+        )
+        .unwrap();
+    }
+    svc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = parse_command(&input);
+    }
+
+    /// The full service pipeline never panics on arbitrary lines and always
+    /// answers with an OK or ERR status line.
+    #[test]
+    fn service_always_answers(input in ".{0,120}") {
+        let mut svc = service(4);
+        let reply = svc.execute_line(&input);
+        prop_assert!(
+            reply.starts_with("OK") || reply.starts_with("ERR"),
+            "unexpected reply {reply:?}"
+        );
+    }
+
+    /// Well-formed queries with random parameters always succeed against a
+    /// populated service.
+    #[test]
+    fn valid_queries_succeed(
+        seed in 0u64..8,
+        k in 1usize..20,
+        mode_pick in 0usize..3,
+        r in 1usize..4,
+        cand in 1usize..60,
+    ) {
+        let mode = ["brute", "sketch", "filter"][mode_pick];
+        let mut svc = service(8);
+        let line = format!("query id={seed} k={k} mode={mode} r={r} cand={cand}");
+        let reply = svc.execute_line(&line);
+        prop_assert!(reply.starts_with("OK"), "{line} -> {reply}");
+        // The seed object itself must appear among the results (it has
+        // distance zero to itself).
+        let ids: Vec<u64> = reply
+            .lines()
+            .skip(1)
+            .filter_map(|l| l.split_whitespace().next())
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        prop_assert!(ids.contains(&seed), "{line} -> {reply}");
+    }
+
+    /// Attribute range queries match the expected id subsets.
+    #[test]
+    fn attr_ranges_are_consistent(lo in 0i64..8, hi in 0i64..8) {
+        let mut svc = service(8);
+        let line = format!("attr idx>={lo} AND idx<={hi}");
+        let reply = svc.execute_line(&line);
+        prop_assert!(reply.starts_with("OK"), "{reply}");
+        let count: usize = reply
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("OK "))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        let expected = if hi >= lo { (hi - lo + 1) as usize } else { 0 };
+        prop_assert_eq!(count, expected.min(8), "{}", line);
+    }
+}

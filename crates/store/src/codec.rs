@@ -1,0 +1,215 @@
+//! Binary encoding helpers for log records and snapshots.
+//!
+//! All integers are little-endian. Variable-length fields are
+//! length-prefixed: `u16` for table names, `u32` for keys and values.
+
+use crate::error::{Result, StoreError};
+
+/// Upper bound on a single key or value (64 MiB): guards recovery against
+/// interpreting corrupt length fields as enormous allocations.
+pub const MAX_BLOB: usize = 64 << 20;
+
+/// Upper bound on a table name.
+pub const MAX_NAME: usize = u16::MAX as usize;
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u16`-length-prefixed name.
+    pub fn put_name(&mut self, name: &str) -> Result<()> {
+        if name.len() > MAX_NAME {
+            return Err(StoreError::Limit(format!("name of {} bytes", name.len())));
+        }
+        self.buf
+            .extend_from_slice(&(name.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(name.as_bytes());
+        Ok(())
+    }
+
+    /// Appends a `u32`-length-prefixed blob.
+    pub fn put_blob(&mut self, blob: &[u8]) -> Result<()> {
+        if blob.len() > MAX_BLOB {
+            return Err(StoreError::Limit(format!("blob of {} bytes", blob.len())));
+        }
+        self.buf
+            .extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(blob);
+        Ok(())
+    }
+}
+
+/// Sequential decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::Corrupt(format!(
+                "truncated record: wanted {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a `u16`-length-prefixed name.
+    pub fn get_name(&mut self) -> Result<String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("non-utf8 table name".into()))
+    }
+
+    /// Reads a `u32`-length-prefixed blob.
+    pub fn get_blob(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_BLOB {
+            return Err(StoreError::Corrupt(format!("blob length {len} too large")));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 1);
+        e.put_name("segments").unwrap();
+        e.put_blob(b"payload").unwrap();
+        let bytes = e.into_bytes();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_name().unwrap(), "segments");
+        assert_eq!(d.get_blob().unwrap(), b"payload");
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn empty_blob_and_name() {
+        let mut e = Encoder::new();
+        e.put_name("").unwrap();
+        e.put_blob(b"").unwrap();
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_name().unwrap(), "");
+        assert_eq!(d.get_blob().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::new();
+        e.put_blob(b"0123456789").unwrap();
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(d.get_blob(), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_blob(), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn non_utf8_name_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_name(), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn encoder_len_tracks() {
+        let mut e = Encoder::new();
+        assert!(e.is_empty());
+        e.put_u32(1);
+        assert_eq!(e.len(), 4);
+    }
+}

@@ -1,0 +1,73 @@
+//! Out-of-core filtering (paper §8 future work): build an on-disk sketch
+//! database and answer filtered queries by streaming it, without holding
+//! the sketch metadata in memory.
+//!
+//! Run with: `cargo run --release --example out_of_core`
+
+use ferret::core::engine::{EngineConfig, SearchEngine};
+use ferret::core::filter::{filter_candidates, FilterParams};
+use ferret::core::object::ObjectId;
+use ferret::core::sketch::{filter_candidates_on_disk, SketchFileWriter};
+use ferret::datatypes::image::{generate_mixed_images, image_sketch_params};
+
+fn main() {
+    let n = 50_000;
+    println!("building {n} mixed-image objects with 96-bit sketches...");
+    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 9));
+    for (id, obj) in generate_mixed_images(n, 4) {
+        engine.insert(id, obj).expect("insert");
+    }
+
+    // Spill the sketch database to disk.
+    let path = std::env::temp_dir().join(format!("ferret-ooc-{}.fskd", std::process::id()));
+    let mut writer = SketchFileWriter::create(&path, 96).expect("create sketch file");
+    for &id in engine.ids() {
+        writer
+            .append(id, engine.sketched(id).expect("sketched"))
+            .expect("append");
+    }
+    let path = writer.finish().expect("finish");
+    let bytes = std::fs::metadata(&path).expect("metadata").len();
+    println!(
+        "sketch file: {} ({:.1} MiB for {} segments)",
+        path.display(),
+        bytes as f64 / (1 << 20) as f64,
+        engine.metadata_footprint().segments
+    );
+
+    let params = FilterParams {
+        query_segments: 2,
+        candidates_per_segment: 40,
+        ..FilterParams::default()
+    };
+    let query = engine.sketched(ObjectId(17)).expect("seed").clone();
+
+    // In-memory scan.
+    let start = std::time::Instant::now();
+    let (mem, mem_stats) = filter_candidates(
+        &query,
+        engine.ids().iter().map(|&id| (id, engine.sketched(id).expect("sketched"))),
+        &params,
+    )
+    .expect("memory filter");
+    let mem_time = start.elapsed();
+
+    // Streaming the file.
+    let start = std::time::Instant::now();
+    let (disk, disk_stats) = filter_candidates_on_disk(&path, &query, &params).expect("disk filter");
+    let disk_time = start.elapsed();
+
+    println!(
+        "in-memory scan: {} candidates from {} segments in {mem_time:?}",
+        mem.len(),
+        mem_stats.segments_scanned
+    );
+    println!(
+        "on-disk scan:   {} candidates from {} segments in {disk_time:?}",
+        disk.len(),
+        disk_stats.segments_scanned
+    );
+    assert_eq!(mem, disk, "candidate sets must be identical");
+    println!("candidate sets identical; query object found: {}", disk.contains(&ObjectId(17)));
+    std::fs::remove_file(&path).ok();
+}

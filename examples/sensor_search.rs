@@ -1,0 +1,70 @@
+//! Sensor time-series similarity search — the paper's future-work
+//! extension (§8) implemented as a fifth data type.
+//!
+//! Synthesizes sensor recordings (motif sequences under speed, gain, and
+//! noise variation), segments them into activity episodes, extracts 16-d
+//! time/spectral features per episode, and retrieves recordings of the
+//! same motif sequence.
+//!
+//! Run with: `cargo run --release --example sensor_search`
+
+use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::filter::FilterParams;
+use ferret::datatypes::sensor::{generate_sensor_dataset, sensor_sketch_params, SensorConfig};
+use ferret::eval::{format_duration, format_score, run_suite, BenchmarkSuite};
+
+fn main() {
+    let cfg = SensorConfig {
+        num_sets: 10,
+        set_size: 4,
+        num_distractors: 60,
+        vocab_size: 25,
+        episodes: (3, 6),
+        seed: 77,
+    };
+    println!(
+        "synthesizing {} sensor recordings (render -> episode detection -> features)...",
+        cfg.num_sets * cfg.set_size + cfg.num_distractors
+    );
+    let dataset = generate_sensor_dataset(&cfg);
+    println!(
+        "dataset: {} recordings, {:.1} episodes/recording\n",
+        dataset.len(),
+        dataset.avg_segments()
+    );
+
+    let config = EngineConfig::basic(sensor_sketch_params(&dataset, 128, 2), 31);
+    let mut engine = SearchEngine::new(config);
+    for (id, obj) in &dataset.objects {
+        engine.insert(*id, obj.clone()).expect("insert");
+    }
+
+    let suite = BenchmarkSuite::from_sets(&dataset.similarity_sets);
+    let options = QueryOptions::filtering(
+        8,
+        FilterParams {
+            query_segments: 2,
+            candidates_per_segment: 20,
+            ..FilterParams::default()
+        },
+    );
+    let result = run_suite(&engine, &suite, &options).expect("suite runs");
+    println!("filtering-mode quality over {} recording sets:", suite.len());
+    println!("  average precision  {}", format_score(result.quality.average_precision));
+    println!("  first tier         {}", format_score(result.quality.first_tier));
+    println!("  second tier        {}", format_score(result.quality.second_tier));
+    println!("  mean query time    {}\n", format_duration(result.timing.mean));
+
+    let seed = dataset.similarity_sets[0][0];
+    let resp = engine.query_by_id(seed, &options).expect("query");
+    println!("query recording {seed} -> top results:");
+    for r in resp.results.iter().take(cfg.set_size + 1) {
+        let same = dataset.similarity_sets[0].contains(&r.id);
+        println!(
+            "  {}  distance {:.4}{}",
+            r.id,
+            r.distance,
+            if same { "  (same motif sequence)" } else { "" }
+        );
+    }
+}

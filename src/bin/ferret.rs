@@ -1,0 +1,269 @@
+//! The `ferret` command-line tool: run a complete similarity search system
+//! from the shell.
+//!
+//! ```text
+//! ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--tcp addr]
+//!               [--http addr] [--scan-interval secs]
+//! ferret import --db <dir> --watch <dir> --dim <D> [--bits N]
+//! ferret query  --addr <host:port> <protocol command ...>
+//! ```
+//!
+//! Objects are `.fvec` files (pre-extracted weighted feature vectors, one
+//! segment per line) dropped into the watch directory; `serve` runs the
+//! acquisition loop, the TCP command protocol, and the web interface over
+//! a persistent metadata store.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ferret::acquire::{ImportSink, Importer};
+use ferret::attr::Attributes;
+use ferret::core::engine::EngineConfig;
+use ferret::core::object::{DataObject, ObjectId};
+use ferret::core::sketch::SketchParams;
+use ferret::datatypes::generic::FvecExtractor;
+use ferret::query::{Client, FerretService, HttpServer, Server, ServiceError};
+use ferret::store::DbOptions;
+
+struct Options {
+    db: Option<PathBuf>,
+    watch: Option<PathBuf>,
+    dim: usize,
+    bits: usize,
+    xor_folds: usize,
+    tcp: String,
+    http: String,
+    scan_interval: u64,
+    addr: Option<String>,
+    rest: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n  ferret query  --addr <host:port> <command ...>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        db: None,
+        watch: None,
+        dim: 0,
+        bits: 128,
+        xor_folds: 2,
+        tcp: "127.0.0.1:7878".to_string(),
+        http: "127.0.0.1:8080".to_string(),
+        scan_interval: 5,
+        addr: None,
+        rest: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &String {
+            args.get(i + 1).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--db" => {
+                opts.db = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--watch" => {
+                opts.watch = Some(PathBuf::from(need(i)));
+                i += 2;
+            }
+            "--dim" => {
+                opts.dim = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--bits" => {
+                opts.bits = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--k" => {
+                opts.xor_folds = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--tcp" => {
+                opts.tcp = need(i).clone();
+                i += 2;
+            }
+            "--http" => {
+                opts.http = need(i).clone();
+                i += 2;
+            }
+            "--scan-interval" => {
+                opts.scan_interval = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--addr" => {
+                opts.addr = Some(need(i).clone());
+                i += 2;
+            }
+            _ => {
+                opts.rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    opts
+}
+
+struct ServiceSink<'a>(&'a mut FerretService);
+
+impl ImportSink for ServiceSink<'_> {
+    type Error = ServiceError;
+
+    fn upsert(
+        &mut self,
+        id: ObjectId,
+        object: DataObject,
+        attributes: Attributes,
+        _path: &Path,
+    ) -> Result<(), ServiceError> {
+        if self.0.engine().contains(id) {
+            self.0.remove(id)?;
+        }
+        self.0.insert(id, object, Some(attributes))
+    }
+
+    fn remove(&mut self, id: ObjectId, _path: &Path) -> Result<(), ServiceError> {
+        self.0.remove(id)?;
+        Ok(())
+    }
+}
+
+fn open_service(opts: &Options) -> FerretService {
+    let db = opts.db.clone().unwrap_or_else(|| usage());
+    if opts.dim == 0 {
+        eprintln!("error: --dim is required (dimensionality of the .fvec vectors)");
+        std::process::exit(2);
+    }
+    // Generic vectors: ranges are unknown up front; use a wide symmetric
+    // range. For tighter sketches, derive params from data and rebuild.
+    let params = SketchParams::with_options(
+        opts.bits,
+        opts.xor_folds,
+        vec![-1000.0; opts.dim],
+        vec![1000.0; opts.dim],
+        None,
+    )
+    .expect("valid sketch parameters");
+    let config = EngineConfig::basic(params, 0xFE44E7);
+    match FerretService::open(&db, config, DbOptions::default()) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("error: cannot open database {}: {e}", db.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn scan_once(service: &mut FerretService, importer: &mut Importer<FvecExtractor>) -> usize {
+    match importer.scan_once(&mut ServiceSink(service)) {
+        Ok(report) => {
+            for (path, err) in &report.failures {
+                eprintln!("import failed: {}: {err}", path.display());
+            }
+            report.imported.len() + report.updated.len() + report.removed.len()
+        }
+        Err(e) => {
+            eprintln!("scan failed: {e}");
+            0
+        }
+    }
+}
+
+fn cmd_import(opts: &Options) {
+    let watch = opts.watch.clone().unwrap_or_else(|| usage());
+    let mut service = open_service(opts);
+    let mut importer = Importer::new(&watch, FvecExtractor::new(opts.dim));
+    let changed = scan_once(&mut service, &mut importer);
+    service.flush().expect("flush");
+    println!(
+        "imported {} changes; {} objects in the index",
+        changed,
+        service.engine().len()
+    );
+}
+
+fn cmd_serve(opts: &Options) {
+    let watch = opts.watch.clone().unwrap_or_else(|| usage());
+    let mut service = open_service(opts);
+    let mut importer = Importer::new(&watch, FvecExtractor::new(opts.dim));
+    let changed = scan_once(&mut service, &mut importer);
+    println!(
+        "initial scan: {} changes, {} objects indexed",
+        changed,
+        service.engine().len()
+    );
+    // Replace the generic wide sketch ranges with data-derived ones so the
+    // sketches actually discriminate between stored objects.
+    if let Err(e) = service.retune_sketches(opts.bits, opts.xor_folds, 0xFE44E7) {
+        eprintln!("warning: sketch retuning failed: {e}");
+    } else if !service.engine().is_empty() {
+        println!("sketch parameters derived from {} objects", service.engine().len());
+    }
+    let service = Arc::new(RwLock::new(service));
+
+    let tcp = Server::start(Arc::clone(&service), &opts.tcp).expect("tcp server");
+    let http = HttpServer::start(Arc::clone(&service), &opts.http).expect("http server");
+    println!("tcp protocol on {}", tcp.addr());
+    println!("web interface on http://{}/", http.addr());
+    println!("watching {} every {}s; Ctrl-C to stop", watch.display(), opts.scan_interval);
+
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(opts.scan_interval.max(1)));
+        let changed = {
+            let mut svc = service.write();
+            scan_once(&mut svc, &mut importer)
+        };
+        if changed > 0 {
+            println!("scan: {changed} changes applied");
+        }
+    }
+}
+
+fn cmd_query(opts: &Options) {
+    let addr = opts.addr.clone().unwrap_or_else(|| usage());
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("error: invalid address {addr:?}");
+            std::process::exit(2);
+        }
+    };
+    if opts.rest.is_empty() {
+        usage();
+    }
+    let command = opts.rest.join(" ");
+    match Client::connect(addr) {
+        Ok(mut client) => match client.send(&command) {
+            Ok(reply) => print!("{reply}"),
+            Err(e) => {
+                eprintln!("error: send failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(subcommand) = args.first() else {
+        usage()
+    };
+    let opts = parse_options(&args[1..]);
+    match subcommand.as_str() {
+        "serve" => cmd_serve(&opts),
+        "import" => cmd_import(&opts),
+        "query" => cmd_query(&opts),
+        _ => usage(),
+    }
+}

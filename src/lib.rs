@@ -1,0 +1,35 @@
+//! # Ferret — a toolkit for content-based similarity search of feature-rich data
+//!
+//! A from-scratch Rust implementation of the Ferret toolkit (Lv, Josephson,
+//! Wang, Charikar, Li — EuroSys 2006). This umbrella crate re-exports the
+//! workspace crates:
+//!
+//! * [`core`] — object model, distances (ℓ_p, correlation, EMD), sketch
+//!   construction, filtering, ranking, and the similarity search engine.
+//! * [`store`] — embedded transactional metadata store (WAL, checkpoints,
+//!   crash recovery).
+//! * [`attr`] — attribute/keyword search with a boolean query language.
+//! * [`datatypes`] — image, audio, 3D shape, and genomic plug-ins plus
+//!   synthetic benchmark generators.
+//! * [`eval`] — search-quality metrics, benchmark files, batch runner.
+//! * [`query`] — command-line protocol, composed service, TCP server, and
+//!   web interface.
+//! * [`acquire`] — directory-scan data acquisition.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ferret_acquire as acquire;
+pub use ferret_attr as attr;
+pub use ferret_core as core;
+pub use ferret_datatypes as datatypes;
+pub use ferret_eval as eval;
+pub use ferret_query as query;
+pub use ferret_store as store;
+
+/// Commonly used types across the toolkit.
+pub mod prelude {
+    pub use ferret_core::prelude::*;
+}
