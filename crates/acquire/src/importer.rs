@@ -32,6 +32,22 @@ pub trait ImportSink {
 
     /// Removes an object whose source file disappeared.
     fn remove(&mut self, id: ObjectId, path: &Path) -> Result<(), Self::Error>;
+
+    /// Adds (or replaces) a batch of extracted objects, returning one
+    /// result per item in order.
+    ///
+    /// The default implementation loops over [`ImportSink::upsert`]; sinks
+    /// backed by an engine with batch-parallel sketch construction should
+    /// override this to sketch the whole batch at once.
+    fn upsert_batch(
+        &mut self,
+        items: Vec<(ObjectId, DataObject, Attributes, PathBuf)>,
+    ) -> Vec<Result<(), Self::Error>> {
+        items
+            .into_iter()
+            .map(|(id, object, attrs, path)| self.upsert(id, object, attrs, &path))
+            .collect()
+    }
 }
 
 /// The outcome of one import pass.
@@ -153,23 +169,35 @@ impl<E: FileExtractor> Importer<E> {
             .map_err(|e| CoreError::Extraction(format!("scan failed: {e}")))?;
         let mut report = ImportReport::default();
         for (paths, updated) in [(&scan.new, false), (&scan.changed, true)] {
+            // Extract everything first, then hand the surviving objects to
+            // the sink in one batch so it can sketch them in parallel.
+            let mut batch = Vec::new();
             for path in paths {
                 let id = self.assign_id(path);
                 match self.extractor.extract_file(path) {
                     Ok(object) => {
-                        let attrs = file_attributes(path);
-                        match sink.upsert(id, object, attrs, path) {
-                            Ok(()) => {
-                                if updated {
-                                    report.updated.push((id, path.clone()));
-                                } else {
-                                    report.imported.push((id, path.clone()));
-                                }
-                            }
-                            Err(e) => report.failures.push((path.clone(), e.to_string())),
-                        }
+                        batch.push((id, object, file_attributes(path), path.clone()));
                     }
                     Err(e) => report.failures.push((path.clone(), e.to_string())),
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            let keys: Vec<(ObjectId, PathBuf)> = batch
+                .iter()
+                .map(|(id, _, _, path)| (*id, path.clone()))
+                .collect();
+            for ((id, path), result) in keys.into_iter().zip(sink.upsert_batch(batch)) {
+                match result {
+                    Ok(()) => {
+                        if updated {
+                            report.updated.push((id, path));
+                        } else {
+                            report.imported.push((id, path));
+                        }
+                    }
+                    Err(e) => report.failures.push((path, e.to_string())),
                 }
             }
         }
@@ -201,8 +229,8 @@ mod tests {
         }
 
         fn extract_file(&self, path: &Path) -> CoreResult<DataObject> {
-            let bytes = std::fs::read(path)
-                .map_err(|e| CoreError::Extraction(format!("read: {e}")))?;
+            let bytes =
+                std::fs::read(path).map_err(|e| CoreError::Extraction(format!("read: {e}")))?;
             if bytes.contains(&0xFF) {
                 return Err(CoreError::Extraction("corrupt file".into()));
             }
@@ -242,8 +270,7 @@ mod tests {
     }
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("ferret-import-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ferret-import-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -305,6 +332,57 @@ mod tests {
         assert!(matches!(&attrs["ext"], ferret_attr::AttrValue::Keyword(k) if k == "jpg"));
         assert_eq!(attrs["size"], ferret_attr::AttrValue::Int(10));
         assert!(attrs.contains_key("mtime"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_hands_sink_one_batch_per_pass() {
+        #[derive(Default)]
+        struct BatchSink {
+            inner: MemorySink,
+            batch_sizes: Vec<usize>,
+        }
+
+        impl ImportSink for BatchSink {
+            type Error = CoreError;
+
+            fn upsert(
+                &mut self,
+                id: ObjectId,
+                object: DataObject,
+                attributes: Attributes,
+                path: &Path,
+            ) -> CoreResult<()> {
+                self.inner.upsert(id, object, attributes, path)
+            }
+
+            fn remove(&mut self, id: ObjectId, path: &Path) -> CoreResult<()> {
+                self.inner.remove(id, path)
+            }
+
+            fn upsert_batch(
+                &mut self,
+                items: Vec<(ObjectId, DataObject, Attributes, PathBuf)>,
+            ) -> Vec<CoreResult<()>> {
+                self.batch_sizes.push(items.len());
+                items
+                    .into_iter()
+                    .map(|(id, object, attrs, path)| self.upsert(id, object, attrs, &path))
+                    .collect()
+            }
+        }
+
+        let dir = tmpdir("batch");
+        for name in ["a.bin", "b.bin", "c.bin"] {
+            std::fs::write(dir.join(name), [1u8, 2]).unwrap();
+        }
+        let mut importer = Importer::new(&dir, ByteExtractor);
+        let mut sink = BatchSink::default();
+        let report = importer.scan_once(&mut sink).unwrap();
+        assert_eq!(report.imported.len(), 3);
+        // One batch for the new files; no call for the empty changed set.
+        assert_eq!(sink.batch_sizes, vec![3]);
+        assert_eq!(sink.inner.objects.len(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

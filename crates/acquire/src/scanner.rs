@@ -171,8 +171,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("ferret-scan-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ferret-scan-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir

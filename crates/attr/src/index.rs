@@ -248,7 +248,10 @@ mod tests {
         let mut idx = index_with_three();
         assert!(idx.remove(ObjectId(1)));
         assert!(!idx.remove(ObjectId(1)));
-        assert_eq!(idx.match_token("caption", "red"), HashSet::from([ObjectId(3)]));
+        assert_eq!(
+            idx.match_token("caption", "red"),
+            HashSet::from([ObjectId(3)])
+        );
         assert_eq!(idx.match_range("year", None, Some(2003.0)).len(), 0);
         assert_eq!(idx.len(), 2);
     }

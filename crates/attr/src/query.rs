@@ -449,10 +449,7 @@ mod tests {
         assert_eq!(eval("caption:red AND collection:corel"), HashSet::from([1]));
         // Implicit AND.
         assert_eq!(eval("caption:red collection:corel"), HashSet::from([1]));
-        assert_eq!(
-            eval("caption:dog OR caption:bird"),
-            HashSet::from([1, 2])
-        );
+        assert_eq!(eval("caption:dog OR caption:bird"), HashSet::from([1, 2]));
         assert_eq!(eval("NOT collection:corel"), HashSet::from([3]));
         assert_eq!(
             eval("collection:corel AND NOT caption:dog"),

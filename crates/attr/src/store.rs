@@ -242,7 +242,11 @@ mod tests {
             let mut db = open(&dir);
             let mut store = AttrStore::load(&db).unwrap();
             store
-                .set(&mut db, ObjectId(1), AttrsBuilder::new().text("a", "x").build())
+                .set(
+                    &mut db,
+                    ObjectId(1),
+                    AttrsBuilder::new().text("a", "x").build(),
+                )
                 .unwrap();
             assert!(store.remove(&mut db, ObjectId(1)).unwrap());
             assert!(!store.remove(&mut db, ObjectId(1)).unwrap());
@@ -259,10 +263,18 @@ mod tests {
         let mut db = open(&dir);
         let mut store = AttrStore::load(&db).unwrap();
         store
-            .set(&mut db, ObjectId(1), AttrsBuilder::new().text("a", "old").build())
+            .set(
+                &mut db,
+                ObjectId(1),
+                AttrsBuilder::new().text("a", "old").build(),
+            )
             .unwrap();
         store
-            .set(&mut db, ObjectId(1), AttrsBuilder::new().text("a", "new").build())
+            .set(
+                &mut db,
+                ObjectId(1),
+                AttrsBuilder::new().text("a", "new").build(),
+            )
             .unwrap();
         assert!(store.search_str("a:old").unwrap().is_empty());
         assert_eq!(store.search_str("a:new").unwrap().len(), 1);

@@ -63,7 +63,13 @@ fn bench_query_modes(c: &mut Criterion) {
             ..QueryOptions::default()
         };
         group.bench_function(label, |b| {
-            b.iter(|| black_box(engine.query_by_id(ObjectId(7), black_box(&options)).unwrap()));
+            b.iter(|| {
+                black_box(
+                    engine
+                        .query_by_id(ObjectId(7), black_box(&options))
+                        .unwrap(),
+                )
+            });
         });
     }
     group.finish();
@@ -82,7 +88,8 @@ fn bench_disk_filter(c: &mut Criterion) {
         candidates_per_segment: 40,
         ..FilterParams::default()
     };
-    let path = std::env::temp_dir().join(format!("ferret-bench-diskdb-{}.fskd", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("ferret-bench-diskdb-{}.fskd", std::process::id()));
     let mut writer = SketchFileWriter::create(&path, 96).unwrap();
     for &id in engine.ids() {
         writer.append(id, engine.sketched(id).unwrap()).unwrap();
@@ -104,5 +111,10 @@ fn bench_disk_filter(c: &mut Criterion) {
     std::fs::remove_file(&path).ok();
 }
 
-criterion_group!(benches, bench_filter_scan, bench_query_modes, bench_disk_filter);
+criterion_group!(
+    benches,
+    bench_filter_scan,
+    bench_query_modes,
+    bench_disk_filter
+);
 criterion_main!(benches);

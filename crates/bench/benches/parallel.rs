@@ -1,0 +1,219 @@
+//! Benchmarks for the parallel execution layer: filter-scan and EMD-rank
+//! throughput as a function of worker-thread count, at two dataset sizes.
+//!
+//! Besides the criterion report, the run writes a machine-readable
+//! `BENCH_parallel.json` at the repository root with per-thread-count
+//! means, speedups relative to one thread, and a `results_identical` flag
+//! confirming the determinism contract held on this machine.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use ferret_core::distance::emd::Emd;
+use ferret_core::distance::lp::L1;
+use ferret_core::engine::{EngineConfig, SearchEngine};
+use ferret_core::filter::{filter_candidates_sharded, FilterParams};
+use ferret_core::object::{DataObject, ObjectId};
+use ferret_core::rank::{rank_candidates_parallel, SearchResult};
+use ferret_core::sketch::SketchedObject;
+use ferret_datatypes::image::{generate_mixed_images, image_sketch_params};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const FILTER_SIZES: [usize; 2] = [5_000, 20_000];
+const RANK_SIZES: [usize; 2] = [100, 400];
+
+fn engine_with(n: usize) -> SearchEngine {
+    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    for (id, obj) in generate_mixed_images(n, 11) {
+        engine.insert(id, obj).unwrap();
+    }
+    engine
+}
+
+fn filter_params() -> FilterParams {
+    FilterParams {
+        query_segments: 2,
+        candidates_per_segment: 40,
+        ..FilterParams::default()
+    }
+}
+
+fn bench_filter_scan_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_scan_threads");
+    group.sample_size(10);
+    for n in FILTER_SIZES {
+        let engine = engine_with(n);
+        let query = engine.sketched(ObjectId(0)).unwrap().clone();
+        let dataset: Vec<(ObjectId, &SketchedObject)> = engine
+            .ids()
+            .iter()
+            .map(|&id| (id, engine.sketched(id).unwrap()))
+            .collect();
+        let params = filter_params();
+        group.throughput(Throughput::Elements(n as u64));
+        for threads in THREAD_COUNTS {
+            group.bench_function(BenchmarkId::new(format!("{n}"), threads), |b| {
+                b.iter(|| {
+                    black_box(
+                        filter_candidates_sharded(black_box(&query), &dataset, &params, threads)
+                            .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_emd_rank_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_rank_threads");
+    group.sample_size(10);
+    for n in RANK_SIZES {
+        let objects: Vec<(ObjectId, DataObject)> = generate_mixed_images(n, 23);
+        let query = objects[0].1.clone();
+        let candidates: Vec<(ObjectId, &DataObject)> =
+            objects.iter().map(|(id, obj)| (*id, obj)).collect();
+        let emd = Emd::new(L1);
+        group.throughput(Throughput::Elements(n as u64));
+        for threads in THREAD_COUNTS {
+            group.bench_function(BenchmarkId::new(format!("{n}"), threads), |b| {
+                b.iter(|| {
+                    black_box(
+                        rank_candidates_parallel(black_box(&query), &candidates, &emd, 10, threads)
+                            .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// One measured configuration for the JSON report.
+struct Sample {
+    bench: &'static str,
+    size: usize,
+    threads: usize,
+    mean_ns: f64,
+    elements_per_sec: f64,
+}
+
+fn time_mean_ns<R>(reps: usize, mut routine: impl FnMut() -> R) -> f64 {
+    // One warm-up, then the mean of `reps` timed runs.
+    black_box(routine());
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(routine());
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn collect_json_samples() -> (Vec<Sample>, bool) {
+    let mut samples = Vec::new();
+    let mut identical = true;
+
+    for n in FILTER_SIZES {
+        let engine = engine_with(n);
+        let query = engine.sketched(ObjectId(0)).unwrap().clone();
+        let dataset: Vec<(ObjectId, &SketchedObject)> = engine
+            .ids()
+            .iter()
+            .map(|&id| (id, engine.sketched(id).unwrap()))
+            .collect();
+        let params = filter_params();
+        let baseline = filter_candidates_sharded(&query, &dataset, &params, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let out = filter_candidates_sharded(&query, &dataset, &params, threads).unwrap();
+            identical &= out == baseline;
+            let mean_ns = time_mean_ns(5, || {
+                filter_candidates_sharded(&query, &dataset, &params, threads).unwrap()
+            });
+            samples.push(Sample {
+                bench: "filter_scan",
+                size: n,
+                threads,
+                mean_ns,
+                elements_per_sec: n as f64 / (mean_ns * 1e-9),
+            });
+        }
+    }
+
+    for n in RANK_SIZES {
+        let objects: Vec<(ObjectId, DataObject)> = generate_mixed_images(n, 23);
+        let query = objects[0].1.clone();
+        let candidates: Vec<(ObjectId, &DataObject)> =
+            objects.iter().map(|(id, obj)| (*id, obj)).collect();
+        let emd = Emd::new(L1);
+        let baseline: Vec<SearchResult> =
+            rank_candidates_parallel(&query, &candidates, &emd, 10, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let out = rank_candidates_parallel(&query, &candidates, &emd, 10, threads).unwrap();
+            identical &= out == baseline;
+            let mean_ns = time_mean_ns(5, || {
+                rank_candidates_parallel(&query, &candidates, &emd, 10, threads).unwrap()
+            });
+            samples.push(Sample {
+                bench: "emd_rank",
+                size: n,
+                threads,
+                mean_ns,
+                elements_per_sec: n as f64 / (mean_ns * 1e-9),
+            });
+        }
+    }
+
+    (samples, identical)
+}
+
+fn write_json(samples: &[Sample], identical: bool) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel\",\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"results_identical_across_threads\": {identical},\n"
+    ));
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let base = samples
+            .iter()
+            .find(|b| b.bench == s.bench && b.size == s.size && b.threads == 1)
+            .map(|b| b.mean_ns)
+            .unwrap_or(s.mean_ns);
+        let speedup = base / s.mean_ns.max(1e-9);
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"size\": {}, \"threads\": {}, \"mean_ns\": {:.0}, \"elements_per_sec\": {:.0}, \"speedup_vs_1_thread\": {:.3}}}{}\n",
+            s.bench,
+            s.size,
+            s.threads,
+            s.mean_ns,
+            s.elements_per_sec,
+            speedup,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel.json");
+    std::fs::write(&path, out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+criterion_group!(benches, bench_filter_scan_threads, bench_emd_rank_threads);
+
+fn main() {
+    benches();
+    let (samples, identical) = collect_json_samples();
+    if let Err(e) = write_json(&samples, identical) {
+        eprintln!("could not write BENCH_parallel.json: {e}");
+    }
+    assert!(
+        identical,
+        "parallel results diverged from the serial baseline"
+    );
+}

@@ -56,8 +56,7 @@ fn bench_hamming_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("hamming_scan_100k");
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     for bits in [96usize, 800] {
-        let query =
-            BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>());
+        let query = BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>());
         let dataset: Vec<BitVec> = (0..100_000)
             .map(|_| {
                 BitVec::from_bits(&(0..bits).map(|_| rng.random_bool(0.5)).collect::<Vec<_>>())

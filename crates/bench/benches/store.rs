@@ -9,7 +9,8 @@ use std::path::PathBuf;
 use ferret_store::{Database, DbOptions, Durability};
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("ferret-bench-store-{name}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("ferret-bench-store-{name}-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -37,7 +38,8 @@ fn bench_commit_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
                 key += 1;
-                db.put("bench", &key.to_le_bytes(), black_box(&value)).unwrap();
+                db.put("bench", &key.to_le_bytes(), black_box(&value))
+                    .unwrap();
             });
         });
         drop(db);

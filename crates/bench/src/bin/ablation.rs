@@ -45,8 +45,7 @@ fn main() {
         let mut config = EngineConfig::basic(image_sketch_params(96, k), args.seed ^ k as u64);
         config.ranking = RankingMethod::Emd;
         let engine = index_dataset(&dataset, config);
-        let r = run_suite(&engine, &suite, &QueryOptions::brute_force_sketch(10))
-            .expect("K sweep");
+        let r = run_suite(&engine, &suite, &QueryOptions::brute_force_sketch(10)).expect("K sweep");
         t.row(vec![
             k.to_string(),
             format_score(r.quality.average_precision),

@@ -10,7 +10,9 @@
 
 use ferret_bench::{find_knees, index_dataset, BenchArgs};
 use ferret_core::engine::{EngineConfig, QueryOptions, RankingMethod};
-use ferret_datatypes::audio::{audio_sketch_params, generate_timit_dataset, TimitConfig, AUDIO_DIM};
+use ferret_datatypes::audio::{
+    audio_sketch_params, generate_timit_dataset, TimitConfig, AUDIO_DIM,
+};
 use ferret_datatypes::image::{generate_vary_dataset, image_sketch_params, VaryConfig, IMAGE_DIM};
 use ferret_datatypes::shape::{generate_psb_dataset, shape_sketch_params, PsbConfig, SHAPE_DIM};
 use ferret_datatypes::Dataset;
@@ -57,7 +59,10 @@ fn sweep(panel: &Panel, seed: u64) -> (f64, Vec<(usize, f64)>) {
         }
         let ap = total / REPS as f64;
         series.push((bits, ap));
-        eprintln!("[fig7]   {} @ {bits} bits: avg precision {ap:.3}", panel.name);
+        eprintln!(
+            "[fig7]   {} @ {bits} bits: avg precision {ap:.3}",
+            panel.name
+        );
     }
     (reference, series)
 }
@@ -135,13 +140,19 @@ fn main() {
         "HighKnee",
         "RatioRange",
     ]);
-    println!("\nFigure 7: average precision vs sketch size (scale {}):\n", args.scale);
+    println!(
+        "\nFigure 7: average precision vs sketch size (scale {}):\n",
+        args.scale
+    );
     let mut csv = String::from("benchmark,sketch_bits,avg_precision,reference_avg_precision\n");
     for panel in &panels {
         eprintln!("[fig7] sweeping {}...", panel.name);
         let (reference, series) = sweep(panel, args.seed ^ 9);
-        println!("{} (reference avg precision with original vectors: {}):", panel.name,
-            format_score(reference));
+        println!(
+            "{} (reference avg precision with original vectors: {}):",
+            panel.name,
+            format_score(reference)
+        );
         let mut t = TextTable::new(vec!["SketchBits", "AvgPrec", "Ratio"]);
         for &(bits, ap) in &series {
             t.row(vec![

@@ -28,11 +28,7 @@ fn build(objects: Vec<(ObjectId, DataObject)>, config: EngineConfig) -> SearchEn
     engine
 }
 
-fn mean_query_time(
-    engine: &SearchEngine,
-    options: &QueryOptions,
-    num_queries: usize,
-) -> Duration {
+fn mean_query_time(engine: &SearchEngine, options: &QueryOptions, num_queries: usize) -> Duration {
     let seeds: Vec<ObjectId> = engine
         .ids()
         .iter()
@@ -100,7 +96,10 @@ fn main() {
         },
     ];
 
-    println!("\nFigure 8: query time vs dataset size, three methods (scale {}):\n", args.scale);
+    println!(
+        "\nFigure 8: query time vs dataset size, three methods (scale {}):\n",
+        args.scale
+    );
     let mut csv = String::from("panel,objects,mode,mean_seconds\n");
     for panel in panels {
         eprintln!("[fig8] panel: {}", panel.name);
@@ -112,7 +111,10 @@ fn main() {
         ]);
         for &n in &panel.sizes {
             eprintln!("[fig8]   building {n}-object engine...");
-            let engine = build((panel.generate)(n, args.seed ^ n as u64), (panel.config)(args.seed));
+            let engine = build(
+                (panel.generate)(n, args.seed ^ n as u64),
+                (panel.config)(args.seed),
+            );
             let mut cells = vec![n.to_string()];
             for mode in [
                 QueryMode::BruteForceOriginal,

@@ -14,8 +14,8 @@ use ferret_core::engine::{EngineConfig, QueryOptions, SearchEngine};
 use ferret_core::filter::{filter_candidates, FilterParams};
 use ferret_core::index::{BandedSketchIndex, BandingParams};
 use ferret_core::object::ObjectId;
-use ferret_eval::{format_duration, TextTable};
 use ferret_datatypes::image::{generate_vary_dataset, image_sketch_params, VaryConfig};
+use ferret_eval::{format_duration, TextTable};
 
 fn main() {
     let args = BenchArgs::parse(1.0);
@@ -116,9 +116,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "\nIndexing extension: candidate generation on {n} VARY images (96-bit sketches):\n"
-    );
+    println!("\nIndexing extension: candidate generation on {n} VARY images (96-bit sketches):\n");
     println!("{}", table.render());
     println!("reading — this reproduces the paper's related-work argument (§7): LSH-style");
     println!("banding is 'designed for an indexing approach, instead of the filtering");

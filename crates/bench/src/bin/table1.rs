@@ -17,7 +17,9 @@ use std::sync::Arc;
 use ferret_bench::{index_dataset, BenchArgs};
 use ferret_core::engine::{EngineConfig, QueryOptions, RankingMethod};
 use ferret_core::filter::FilterParams;
-use ferret_datatypes::audio::{audio_sketch_params, generate_timit_dataset, TimitConfig, AUDIO_DIM};
+use ferret_datatypes::audio::{
+    audio_sketch_params, generate_timit_dataset, TimitConfig, AUDIO_DIM,
+};
 use ferret_datatypes::image::{
     generate_vary_dataset, generate_vary_dataset_global, image_sketch_params, VaryConfig,
     GLOBAL_IMAGE_DIM, IMAGE_DIM,
@@ -186,7 +188,10 @@ fn main() {
         "n/a".to_string(),
     ]);
 
-    println!("\nTable 1: search-quality benchmark suite (scale {}):\n", args.scale);
+    println!(
+        "\nTable 1: search-quality benchmark suite (scale {}):\n",
+        args.scale
+    );
     println!("{}", table.render());
     println!(
         "paper reference — VARY: Ferret 0.59/0.54/0.63 (448 -> 96 bits, 4.7:1) vs SIMPLIcity 0.41/0.41/0.47;"

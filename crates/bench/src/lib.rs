@@ -65,7 +65,9 @@ impl BenchArgs {
 pub fn index_dataset(dataset: &Dataset, config: EngineConfig) -> SearchEngine {
     let mut engine = SearchEngine::new(config);
     for (id, obj) in &dataset.objects {
-        engine.insert(*id, obj.clone()).expect("insert generated object");
+        engine
+            .insert(*id, obj.clone())
+            .expect("insert generated object");
     }
     engine
 }

@@ -178,7 +178,10 @@ mod tests {
     #[test]
     fn average_ranks_handles_ties() {
         // Values 10, 20, 20, 30 -> ranks 1, 2.5, 2.5, 4.
-        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            average_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
         // All equal -> all get the middle rank.
         assert_eq!(average_ranks(&[7.0, 7.0, 7.0]), vec![2.0, 2.0, 2.0]);
     }
@@ -218,7 +221,11 @@ mod tests {
             &SpearmanDistance,
             &CosineDistance,
         ] {
-            assert!((d.eval(&a, &b) - d.eval(&b, &a)).abs() < 1e-12, "{}", d.name());
+            assert!(
+                (d.eval(&a, &b) - d.eval(&b, &a)).abs() < 1e-12,
+                "{}",
+                d.name()
+            );
         }
     }
 }

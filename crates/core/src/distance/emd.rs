@@ -490,7 +490,9 @@ mod tests {
         }
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / f64::from(u32::MAX)
         };
         for n in 2..=5usize {
@@ -573,7 +575,9 @@ mod tests {
         let x = obj(&[(&[0.0], 0.5), (&[1000.0], 0.5)]);
         let y = obj(&[(&[0.0], 0.5), (&[2000.0], 0.5)]);
         let plain = Emd::new(L1).distance(&x, &y).unwrap();
-        let thresh = ThresholdedEmd::new(L1, 10.0, false).distance(&x, &y).unwrap();
+        let thresh = ThresholdedEmd::new(L1, 10.0, false)
+            .distance(&x, &y)
+            .unwrap();
         assert!(plain > 400.0);
         assert!(thresh <= 10.0 + 1e-9);
     }
@@ -586,7 +590,9 @@ mod tests {
         let plain = ThresholdedEmd::new(L1, 100.0, false)
             .distance(&x, &y)
             .unwrap();
-        let sqrt = ThresholdedEmd::new(L1, 100.0, true).distance(&x, &y).unwrap();
+        let sqrt = ThresholdedEmd::new(L1, 100.0, true)
+            .distance(&x, &y)
+            .unwrap();
         assert!(sqrt > plain);
     }
 
@@ -600,10 +606,10 @@ mod tests {
     #[test]
     fn emd_with_costs_normalizes_weights() {
         // Unnormalized weights give the same answer as normalized ones.
-        let d1 = emd_with_costs(&[2.0, 2.0], &[4.0], |i, _| if i == 0 { 1.0 } else { 3.0 })
-            .unwrap();
-        let d2 = emd_with_costs(&[0.5, 0.5], &[1.0], |i, _| if i == 0 { 1.0 } else { 3.0 })
-            .unwrap();
+        let d1 =
+            emd_with_costs(&[2.0, 2.0], &[4.0], |i, _| if i == 0 { 1.0 } else { 3.0 }).unwrap();
+        let d2 =
+            emd_with_costs(&[0.5, 0.5], &[1.0], |i, _| if i == 0 { 1.0 } else { 3.0 }).unwrap();
         assert!((d1 - d2).abs() < 1e-9);
         assert!((d1 - 2.0).abs() < 1e-9);
     }

@@ -142,8 +142,7 @@ mod tests {
         let a = [0.2f32, 0.3, 0.5];
         let b = [0.5f32, 0.1, 0.4];
         assert!(
-            (HistogramIntersection.eval(&a, &b) - HistogramIntersection.eval(&b, &a)).abs()
-                < 1e-12
+            (HistogramIntersection.eval(&a, &b) - HistogramIntersection.eval(&b, &a)).abs() < 1e-12
         );
     }
 }

@@ -223,7 +223,11 @@ mod tests {
             &Lp::new(3.0),
             &WeightedL1::new(vec![0.3, 1.0, 2.0]),
         ] {
-            assert!((d.eval(&A, &B) - d.eval(&B, &A)).abs() < 1e-12, "{}", d.name());
+            assert!(
+                (d.eval(&A, &B) - d.eval(&B, &A)).abs() < 1e-12,
+                "{}",
+                d.name()
+            );
         }
     }
 }

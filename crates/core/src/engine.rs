@@ -13,9 +13,10 @@ use std::time::{Duration, Instant};
 use crate::distance::emd::{emd_with_costs, greedy_emd_with_costs, Emd, GreedyEmd, ThresholdedEmd};
 use crate::distance::{ObjectDistance, SegmentDistance};
 use crate::error::{CoreError, Result};
-use crate::filter::{filter_candidates, FilterParams};
+use crate::filter::{filter_candidates_sharded, FilterParams};
 use crate::object::{DataObject, ObjectId};
-use crate::rank::{rank_candidates, rank_scores, SearchResult};
+use crate::parallel::{try_map_chunked, Parallelism, DEFAULT_CHUNK};
+use crate::rank::{rank_candidates_parallel, rank_scores, SearchResult};
 use crate::sketch::{SketchBuilder, SketchParams, SketchedObject};
 
 /// How a query traverses the dataset (paper §6.3.3).
@@ -68,7 +69,10 @@ impl std::fmt::Debug for RankingMethod {
         match self {
             RankingMethod::Emd => write!(f, "Emd"),
             RankingMethod::ThresholdedEmd { tau, sqrt_weights } => {
-                write!(f, "ThresholdedEmd {{ tau: {tau}, sqrt_weights: {sqrt_weights} }}")
+                write!(
+                    f,
+                    "ThresholdedEmd {{ tau: {tau}, sqrt_weights: {sqrt_weights} }}"
+                )
             }
             RankingMethod::GreedyEmd => write!(f, "GreedyEmd"),
             RankingMethod::Custom(d) => write!(f, "Custom({})", d.name()),
@@ -92,6 +96,10 @@ pub struct EngineConfig {
     /// only internal data structures", §4.1.1); `BruteForceOriginal` queries
     /// are then rejected and `Filtering` ranks with sketches.
     pub store_originals: bool,
+    /// How many threads the query path (filtering scan, EMD ranking) and
+    /// batch sketch construction may use. Results are bit-identical for
+    /// every setting; this only trades wall-clock time for cores.
+    pub parallelism: Parallelism,
 }
 
 impl EngineConfig {
@@ -104,6 +112,7 @@ impl EngineConfig {
             seg_distance: Arc::new(crate::distance::lp::L1),
             ranking: RankingMethod::Emd,
             store_originals: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -222,6 +231,7 @@ pub struct SearchEngine {
     seg_distance: Arc<dyn SegmentDistance>,
     ranking: RankingMethod,
     store_originals: bool,
+    parallelism: Parallelism,
     /// Insertion order, for deterministic scans.
     order: Vec<ObjectId>,
     objects: HashMap<ObjectId, DataObject>,
@@ -239,6 +249,7 @@ impl SearchEngine {
             seg_distance: config.seg_distance,
             ranking: config.ranking,
             store_originals: config.store_originals,
+            parallelism: config.parallelism,
             order: Vec::new(),
             objects: HashMap::new(),
             sketches: HashMap::new(),
@@ -248,6 +259,17 @@ impl SearchEngine {
     /// The engine's sketch construction unit.
     pub fn sketch_builder(&self) -> &SketchBuilder {
         &self.builder
+    }
+
+    /// The engine's parallelism setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Changes the parallelism setting. Affects only wall-clock time:
+    /// results are bit-identical across settings.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 
     /// Number of objects stored.
@@ -300,6 +322,41 @@ impl SearchEngine {
         Ok(())
     }
 
+    /// Inserts a batch of objects, sketching them in parallel according
+    /// to the engine's [`Parallelism`] setting.
+    ///
+    /// The whole batch is validated up front (duplicate ids — against the
+    /// store *and* within the batch — and dimension mismatches), so a
+    /// failed batch leaves the engine untouched. Insertion order follows
+    /// the batch order, and the stored sketches are identical to what
+    /// one-by-one [`SearchEngine::insert`] calls would produce.
+    pub fn insert_batch(&mut self, items: Vec<(ObjectId, DataObject)>) -> Result<()> {
+        let mut batch_ids = HashSet::with_capacity(items.len());
+        for (id, object) in &items {
+            if self.sketches.contains_key(id) || !batch_ids.insert(*id) {
+                return Err(CoreError::DuplicateObject(id.0));
+            }
+            if object.dim() != self.builder.params().dim() {
+                return Err(CoreError::DimensionMismatch {
+                    expected: self.builder.params().dim(),
+                    actual: object.dim(),
+                });
+            }
+        }
+        let threads = self.parallelism.threads_for(items.len());
+        let sketched = try_map_chunked(threads, DEFAULT_CHUNK, &items, |_, (_, object)| {
+            self.builder.sketch_object(object)
+        })?;
+        for ((id, object), so) in items.into_iter().zip(sketched) {
+            self.sketches.insert(id, so);
+            if self.store_originals {
+                self.objects.insert(id, object);
+            }
+            self.order.push(id);
+        }
+        Ok(())
+    }
+
     /// Removes an object; returns `true` if it was present.
     pub fn remove(&mut self, id: ObjectId) -> bool {
         let present = self.sketches.remove(&id).is_some();
@@ -347,11 +404,14 @@ impl SearchEngine {
             seg_distance: Arc::clone(&self.seg_distance),
             ranking: self.ranking.clone(),
             store_originals: true,
+            parallelism: self.parallelism,
         });
-        for &id in &self.order {
-            let obj = self.objects.get(&id).expect("originals stored").clone();
-            rebuilt.insert(id, obj)?;
-        }
+        let items: Vec<(ObjectId, DataObject)> = self
+            .order
+            .iter()
+            .map(|&id| (id, self.objects.get(&id).expect("originals stored").clone()))
+            .collect();
+        rebuilt.insert_batch(items)?;
         Ok(rebuilt)
     }
 
@@ -419,7 +479,9 @@ impl SearchEngine {
             elapsed: Duration::ZERO,
         };
         let results = match options.mode {
-            QueryMode::BruteForceOriginal => self.query_brute_original(query, options, &mut stats)?,
+            QueryMode::BruteForceOriginal => {
+                self.query_brute_original(query, options, &mut stats)?
+            }
             QueryMode::BruteForceSketch => self.query_brute_sketch(query, options, &mut stats)?,
             QueryMode::Filtering => self.query_filtering(query, options, &mut stats)?,
         };
@@ -478,7 +540,10 @@ impl SearchEngine {
     }
 
     fn allowed(&self, id: ObjectId, options: &QueryOptions) -> bool {
-        options.restrict.as_ref().is_none_or(|set| set.contains(&id))
+        options
+            .restrict
+            .as_ref()
+            .is_none_or(|set| set.contains(&id))
     }
 
     fn object_distance_original(&self) -> Result<Box<dyn ObjectDistance + '_>> {
@@ -505,30 +570,28 @@ impl SearchEngine {
             ));
         }
         let dist = self.object_distance_original()?;
-        let candidates = self.order.iter().filter_map(|&id| {
-            if !self.allowed(id, options) {
-                return None;
-            }
-            self.objects.get(&id).map(|o| (id, o))
-        });
-        let mut count = 0usize;
-        let collected: Vec<(ObjectId, &DataObject)> = candidates.inspect(|_| count += 1).collect();
+        let collected: Vec<(ObjectId, &DataObject)> = self
+            .order
+            .iter()
+            .filter_map(|&id| {
+                if !self.allowed(id, options) {
+                    return None;
+                }
+                self.objects.get(&id).map(|o| (id, o))
+            })
+            .collect();
         stats.objects_scanned = collected.len();
         stats.distance_evals = collected.len();
-        rank_candidates(query, collected, dist.as_ref(), options.k)
+        let threads = self.parallelism.threads_for(collected.len());
+        rank_candidates_parallel(query, &collected, dist.as_ref(), options.k, threads)
     }
 
     /// Object distance between two sketched objects: EMD over scaled
     /// Hamming ground distances (the sketch estimate of the segment ℓ₁).
-    pub fn sketched_object_distance(
-        &self,
-        a: &SketchedObject,
-        b: &SketchedObject,
-    ) -> Result<f64> {
+    pub fn sketched_object_distance(&self, a: &SketchedObject, b: &SketchedObject) -> Result<f64> {
         let scale = self.sketch_scale;
-        let ground = |i: usize, j: usize| {
-            f64::from(a.sketches[i].hamming_unchecked(&b.sketches[j])) * scale
-        };
+        let ground =
+            |i: usize, j: usize| f64::from(a.sketches[i].hamming_unchecked(&b.sketches[j])) * scale;
         // Single-segment objects: the object distance is the (scaled,
         // possibly thresholded) segment Hamming distance; skip the solver.
         if a.num_segments() == 1 && b.num_segments() == 1 {
@@ -569,17 +632,23 @@ impl SearchEngine {
                 });
             }
         }
-        let mut scored = Vec::new();
-        for &id in &self.order {
-            if !self.allowed(id, options) {
-                continue;
-            }
-            let so = self.sketches.get(&id).expect("order/sketches in sync");
-            stats.objects_scanned += 1;
-            stats.distance_evals += 1;
+        let cands: Vec<(ObjectId, &SketchedObject)> = self
+            .order
+            .iter()
+            .filter_map(|&id| {
+                if !self.allowed(id, options) {
+                    return None;
+                }
+                Some((id, self.sketches.get(&id).expect("order/sketches in sync")))
+            })
+            .collect();
+        stats.objects_scanned = cands.len();
+        stats.distance_evals = cands.len();
+        let threads = self.parallelism.threads_for(cands.len());
+        let scored = try_map_chunked(threads, DEFAULT_CHUNK, &cands, |_, &(id, so)| {
             let d = self.sketched_object_distance(query, so)?;
-            scored.push(SearchResult { id, distance: d });
-        }
+            Ok(SearchResult { id, distance: d })
+        })?;
         Ok(rank_scores(scored, options.k))
     }
 
@@ -600,36 +669,44 @@ impl SearchEngine {
         stats: &mut QueryStats,
     ) -> Result<Vec<SearchResult>> {
         let qs = self.builder.sketch_object(query)?;
-        let dataset = self.order.iter().filter_map(|&id| {
-            if !self.allowed(id, options) {
-                return None;
-            }
-            self.sketches.get(&id).map(|so| (id, so))
-        });
-        let (candidates, fstats) = filter_candidates(&qs, dataset, &options.filter)?;
+        let dataset: Vec<(ObjectId, &SketchedObject)> = self
+            .order
+            .iter()
+            .filter_map(|&id| {
+                if !self.allowed(id, options) {
+                    return None;
+                }
+                self.sketches.get(&id).map(|so| (id, so))
+            })
+            .collect();
+        let scan_threads = self.parallelism.threads_for(dataset.len());
+        let (candidates, fstats) =
+            filter_candidates_sharded(&qs, &dataset, &options.filter, scan_threads)?;
         stats.objects_scanned = fstats.objects_scanned;
         stats.segments_scanned = fstats.segments_scanned;
         stats.distance_evals = candidates.len();
 
+        // Deterministic ranking order.
+        let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
+        cand_ids.sort();
+        let rank_threads = self.parallelism.threads_for(cand_ids.len());
         if self.store_originals {
             let dist = self.object_distance_original()?;
-            // Deterministic ranking order.
-            let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
-            cand_ids.sort();
-            let cands = cand_ids
+            let cands: Vec<(ObjectId, &DataObject)> = cand_ids
                 .iter()
-                .filter_map(|&id| self.objects.get(&id).map(|o| (id, o)));
-            rank_candidates(query, cands, dist.as_ref(), options.k)
+                .filter_map(|&id| self.objects.get(&id).map(|o| (id, o)))
+                .collect();
+            rank_candidates_parallel(query, &cands, dist.as_ref(), options.k, rank_threads)
         } else {
             // Sketch-only engine: rank candidates by sketch distance.
-            let mut scored = Vec::new();
-            let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
-            cand_ids.sort();
-            for id in cand_ids {
-                let so = self.sketches.get(&id).expect("candidate exists");
+            let cands: Vec<(ObjectId, &SketchedObject)> = cand_ids
+                .iter()
+                .map(|&id| (id, self.sketches.get(&id).expect("candidate exists")))
+                .collect();
+            let scored = try_map_chunked(rank_threads, DEFAULT_CHUNK, &cands, |_, &(id, so)| {
                 let d = self.sketched_object_distance(&qs, so)?;
-                scored.push(SearchResult { id, distance: d });
-            }
+                Ok(SearchResult { id, distance: d })
+            })?;
             Ok(rank_scores(scored, options.k))
         }
     }
@@ -689,7 +766,10 @@ mod tests {
             let base = 0.6 + (i as f32 - 4.0) * 0.05;
             e.insert(
                 ObjectId(i),
-                obj(&[(&[base, base, base, base], 0.5), (&[0.9, 0.9, 0.9, base], 0.5)]),
+                obj(&[
+                    (&[base, base, base, base], 0.5),
+                    (&[0.9, 0.9, 0.9, base], 0.5),
+                ]),
             )
             .unwrap();
         }
@@ -820,6 +900,81 @@ mod tests {
     }
 
     #[test]
+    fn insert_batch_matches_serial_insert_and_is_atomic() {
+        let mut serial = engine(128, 2);
+        let mut batched = engine(128, 2);
+        let items: Vec<(ObjectId, DataObject)> = (0..20u64)
+            .map(|i| {
+                let x = i as f32 / 20.0;
+                (ObjectId(i), obj(&[(&[x, 1.0 - x], 1.0), (&[0.5, x], 2.0)]))
+            })
+            .collect();
+        for (id, o) in items.clone() {
+            serial.insert(id, o).unwrap();
+        }
+        batched.set_parallelism(Parallelism::Threads(3));
+        batched.insert_batch(items).unwrap();
+        assert_eq!(serial.ids(), batched.ids());
+        for &id in serial.ids() {
+            assert_eq!(serial.sketched(id), batched.sketched(id), "{id:?}");
+            assert_eq!(serial.object(id), batched.object(id));
+        }
+        // A duplicate anywhere in the batch rejects the whole batch.
+        let before = batched.len();
+        let bad = vec![
+            (ObjectId(100), obj(&[(&[0.3, 0.3], 1.0)])),
+            (ObjectId(5), obj(&[(&[0.4, 0.4], 1.0)])),
+        ];
+        assert!(matches!(
+            batched.insert_batch(bad),
+            Err(CoreError::DuplicateObject(5))
+        ));
+        assert_eq!(batched.len(), before);
+        assert!(!batched.contains(ObjectId(100)));
+        // Duplicates within the batch itself are also rejected.
+        let twice = vec![
+            (ObjectId(200), obj(&[(&[0.3, 0.3], 1.0)])),
+            (ObjectId(200), obj(&[(&[0.4, 0.4], 1.0)])),
+        ];
+        assert!(batched.insert_batch(twice).is_err());
+        assert!(!batched.contains(ObjectId(200)));
+    }
+
+    #[test]
+    fn queries_identical_across_parallelism_settings() {
+        let (mut e, q) = clustered_engine();
+        let opts = [
+            QueryOptions::brute_force(5),
+            QueryOptions::brute_force_sketch(5),
+            QueryOptions::filtering(
+                5,
+                FilterParams {
+                    query_segments: 2,
+                    candidates_per_segment: 4,
+                    ..FilterParams::default()
+                },
+            ),
+        ];
+        e.set_parallelism(Parallelism::Serial);
+        let baselines: Vec<_> = opts.iter().map(|o| e.query(&q, o).unwrap()).collect();
+        for p in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Auto,
+        ] {
+            e.set_parallelism(p);
+            assert_eq!(e.parallelism(), p);
+            for (o, base) in opts.iter().zip(baselines.iter()) {
+                let resp = e.query(&q, o).unwrap();
+                assert_eq!(resp.results, base.results, "{p} {:?}", o.mode);
+                assert_eq!(resp.stats.objects_scanned, base.stats.objects_scanned);
+                assert_eq!(resp.stats.segments_scanned, base.stats.segments_scanned);
+                assert_eq!(resp.stats.distance_evals, base.stats.distance_evals);
+            }
+        }
+    }
+
+    #[test]
     fn metadata_footprint_reports_ratio() {
         let (e, _) = clustered_engine();
         let fp = e.metadata_footprint();
@@ -874,11 +1029,17 @@ mod tests {
         let (e, q) = clustered_engine();
         let derived = e.derive_sketch_params(512, 2).unwrap();
         assert_eq!(derived.dim(), 4);
-        assert!(derived.mins.iter().zip(derived.maxs.iter()).all(|(a, b)| a < b));
+        assert!(derived
+            .mins
+            .iter()
+            .zip(derived.maxs.iter())
+            .all(|(a, b)| a < b));
         let rebuilt = e.rebuild(derived, 99).unwrap();
         assert_eq!(rebuilt.len(), e.len());
         // Data-derived ranges keep retrieval working.
-        let resp = rebuilt.query(&q, &QueryOptions::brute_force_sketch(4)).unwrap();
+        let resp = rebuilt
+            .query(&q, &QueryOptions::brute_force_sketch(4))
+            .unwrap();
         let ids: HashSet<u64> = resp.results.iter().map(|r| r.id.0).collect();
         assert_eq!(ids, HashSet::from([0, 1, 2, 3]));
         // Sketch-only engines cannot rebuild.
@@ -912,11 +1073,8 @@ mod tests {
     #[test]
     fn weight_override_in_sketch_seeded_query() {
         let mut e = engine(512, 2);
-        e.insert(
-            ObjectId(0),
-            obj(&[(&[0.1, 0.1], 0.5), (&[0.9, 0.9], 0.5)]),
-        )
-        .unwrap();
+        e.insert(ObjectId(0), obj(&[(&[0.1, 0.1], 0.5), (&[0.9, 0.9], 0.5)]))
+            .unwrap();
         e.insert(ObjectId(1), obj(&[(&[0.1, 0.1], 1.0)])).unwrap();
         e.insert(ObjectId(2), obj(&[(&[0.9, 0.9], 1.0)])).unwrap();
         let mut opts = QueryOptions::brute_force_sketch(2);

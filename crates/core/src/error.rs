@@ -76,9 +76,12 @@ mod tests {
         assert_eq!(e.to_string(), "dimension mismatch: expected 14, got 3");
         assert!(CoreError::UnknownObject(7).to_string().contains('7'));
         assert!(CoreError::EmptyObject.to_string().contains("no segments"));
-        assert!(CoreError::SketchLengthMismatch { left: 96, right: 64 }
-            .to_string()
-            .contains("96"));
+        assert!(CoreError::SketchLengthMismatch {
+            left: 96,
+            right: 64
+        }
+        .to_string()
+        .contains("96"));
     }
 
     #[test]

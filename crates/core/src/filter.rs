@@ -106,6 +106,23 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Admits `entry` into a bounded k-NN max-heap.
+///
+/// Admission compares full `(hamming, object id)` entries, a *total*
+/// order, so the kept set is the `k` smallest entries of everything
+/// offered — independent of the order entries arrive in. This is what
+/// makes sharded scans merge bit-identically with serial ones.
+fn admit(heap: &mut BinaryHeap<HeapEntry>, capacity: usize, entry: HeapEntry) {
+    if heap.len() < capacity {
+        heap.push(entry);
+    } else if let Some(top) = heap.peek() {
+        if entry < *top {
+            heap.pop();
+            heap.push(entry);
+        }
+    }
+}
+
 /// An incremental filtering pass.
 ///
 /// Feed every `(id, sketched_object)` of the dataset through
@@ -162,30 +179,50 @@ impl FilterScan {
         for sketch in &so.sketches {
             self.stats.segments_scanned += 1;
             for (slot, qs) in self.query_sketches.iter().enumerate() {
-                let h = qs.hamming(sketch)?;
-                if let Some(t) = self.thresholds[slot] {
-                    if h > t {
-                        continue;
+                let heap = &mut self.heaps[slot];
+                // Tightest admission bound: the weight threshold caps
+                // entry outright, and a full heap only admits distances
+                // at or below its current worst (an equal distance can
+                // still win on object id).
+                let mut limit = self.thresholds[slot].unwrap_or(u32::MAX);
+                if heap.len() >= self.candidates_per_segment {
+                    if let Some(top) = heap.peek() {
+                        limit = limit.min(top.hamming);
                     }
                 }
-                let heap = &mut self.heaps[slot];
-                if heap.len() < self.candidates_per_segment {
-                    heap.push(HeapEntry {
+                let Some(h) = qs.hamming_within(sketch, limit)? else {
+                    continue;
+                };
+                admit(
+                    heap,
+                    self.candidates_per_segment,
+                    HeapEntry {
                         hamming: h,
                         object: id,
-                    });
-                } else if let Some(top) = heap.peek() {
-                    if h < top.hamming {
-                        heap.pop();
-                        heap.push(HeapEntry {
-                            hamming: h,
-                            object: id,
-                        });
-                    }
-                }
+                    },
+                );
             }
         }
         Ok(())
+    }
+
+    /// Merges another scan of the *same query and parameters* into this
+    /// one, as if its observations had been fed to this scan directly.
+    ///
+    /// Sharded scans split the dataset into contiguous chunks, run one
+    /// scan per shard, then fold the shards together with this. Because
+    /// heap admission is a total order on `(hamming, object id)`, the
+    /// merged heaps (and hence the candidate set and every statistic)
+    /// are bit-identical to a serial scan of the whole dataset.
+    pub fn merge(&mut self, other: FilterScan) {
+        debug_assert_eq!(self.query_sketches.len(), other.query_sketches.len());
+        self.stats.objects_scanned += other.stats.objects_scanned;
+        self.stats.segments_scanned += other.stats.segments_scanned;
+        for (heap, other_heap) in self.heaps.iter_mut().zip(other.heaps) {
+            for entry in other_heap {
+                admit(heap, self.candidates_per_segment, entry);
+            }
+        }
     }
 
     /// Ends the scan, returning the candidate set and statistics.
@@ -203,8 +240,9 @@ impl FilterScan {
 
 /// Streams the sketch database and produces the candidate object set.
 ///
-/// `dataset` yields `(id, sketched_object)` pairs; iteration order only
-/// affects tie-breaking. Returns the candidate ids and scan statistics.
+/// `dataset` yields `(id, sketched_object)` pairs; iteration order does
+/// not affect the result (ties are broken by object id, not arrival
+/// order). Returns the candidate ids and scan statistics.
 pub fn filter_candidates<'a, I>(
     query: &SketchedObject,
     dataset: I,
@@ -217,6 +255,42 @@ where
     for (id, so) in dataset {
         scan.observe(id, so)?;
     }
+    Ok(scan.finish())
+}
+
+/// Sharded filtering scan: partitions `dataset` into contiguous chunks,
+/// runs an independent [`FilterScan`] per shard on scoped threads, and
+/// merges the per-shard heaps and statistics.
+///
+/// Results are bit-identical to [`filter_candidates`] over the same
+/// slice for every thread count (see [`FilterScan::merge`]). If several
+/// records fail, the error of the earliest record in slice order is
+/// returned, matching the serial scan.
+pub fn filter_candidates_sharded(
+    query: &SketchedObject,
+    dataset: &[(ObjectId, &SketchedObject)],
+    params: &FilterParams,
+    threads: usize,
+) -> Result<(HashSet<ObjectId>, FilterStats)> {
+    if threads <= 1 || dataset.len() < 2 {
+        return filter_candidates(query, dataset.iter().map(|&(id, so)| (id, so)), params);
+    }
+    let shard_scans = crate::parallel::map_shards(threads, dataset.len(), |_, range| {
+        let mut scan = FilterScan::new(query, params)?;
+        for &(id, so) in &dataset[range] {
+            scan.observe(id, so)?;
+        }
+        Ok(scan)
+    });
+    let mut merged: Option<FilterScan> = None;
+    for scan in shard_scans {
+        let scan = scan?;
+        match &mut merged {
+            None => merged = Some(scan),
+            Some(m) => m.merge(scan),
+        }
+    }
+    let scan = merged.expect("non-empty dataset implies at least one shard");
     Ok(scan.finish())
 }
 
@@ -389,6 +463,63 @@ mod tests {
             filter_candidates(&query, Vec::new(), &FilterParams::default()).unwrap();
         assert!(cands.is_empty());
         assert_eq!(stats.objects_scanned, 0);
+    }
+
+    #[test]
+    fn sharded_scan_matches_serial_for_any_thread_count() {
+        // A dataset with deliberate distance ties so tie-breaking matters.
+        let query = sketched(&[&s4(true, true, false, false)], &[1.0]);
+        let objects: Vec<SketchedObject> = (0..40)
+            .map(|i| {
+                let bits = s4(i % 2 == 0, true, i % 3 == 0, false);
+                sketched(&[&bits], &[1.0])
+            })
+            .collect();
+        let dataset: Vec<(ObjectId, &SketchedObject)> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, so)| (ObjectId(i as u64), so))
+            .collect();
+        let p = FilterParams {
+            query_segments: 1,
+            candidates_per_segment: 7,
+            ..FilterParams::default()
+        };
+        let (serial, serial_stats) =
+            filter_candidates(&query, dataset.iter().copied(), &p).unwrap();
+        for threads in [1usize, 2, 3, 7, 64] {
+            let (sharded, stats) =
+                filter_candidates_sharded(&query, &dataset, &p, threads).unwrap();
+            assert_eq!(serial, sharded, "threads {threads}");
+            assert_eq!(serial_stats, stats, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn kept_set_is_scan_order_independent() {
+        // Ties at the same Hamming distance resolve by object id, so a
+        // reversed scan keeps the same candidates.
+        let query = sketched(&[&s4(true, true, true, true)], &[1.0]);
+        let tied: Vec<SketchedObject> = (0..10)
+            .map(|_| sketched(&[&s4(true, true, true, false)], &[1.0]))
+            .collect();
+        let forward: Vec<(ObjectId, &SketchedObject)> = tied
+            .iter()
+            .enumerate()
+            .map(|(i, so)| (ObjectId(i as u64), so))
+            .collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let p = FilterParams {
+            query_segments: 1,
+            candidates_per_segment: 3,
+            ..FilterParams::default()
+        };
+        let (a, _) = filter_candidates(&query, forward, &p).unwrap();
+        let (b, _) = filter_candidates(&query, reversed, &p).unwrap();
+        assert_eq!(a, b);
+        // Lowest ids win ties.
+        assert_eq!(a, HashSet::from([ObjectId(0), ObjectId(1), ObjectId(2)]));
     }
 
     #[test]

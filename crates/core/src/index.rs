@@ -210,8 +210,7 @@ mod tests {
     #[test]
     fn identical_sketches_always_collide() {
         let b = builder(128);
-        let mut index =
-            BandedSketchIndex::new(128, BandingParams { bands: 8, rows: 16 }).unwrap();
+        let mut index = BandedSketchIndex::new(128, BandingParams { bands: 8, rows: 16 }).unwrap();
         let so = sketch_of(&b, [0.3, 0.7, 0.5, 0.2]);
         index.insert(ObjectId(1), &so).unwrap();
         assert_eq!(index.len(), 1);
@@ -222,7 +221,10 @@ mod tests {
     #[test]
     fn near_found_far_usually_not() {
         let b = builder(256);
-        let params = BandingParams { bands: 16, rows: 16 };
+        let params = BandingParams {
+            bands: 16,
+            rows: 16,
+        };
         let mut index = BandedSketchIndex::new(256, params).unwrap();
         let base = [0.3f32, 0.7, 0.5, 0.2];
         index.insert(ObjectId(0), &sketch_of(&b, base)).unwrap();
@@ -264,9 +266,7 @@ mod tests {
             let mut v = base;
             v[t % 4] += sign * delta * (1.0 + (t / 4) as f32 * 0.01);
             let so = sketch_of(&b, v);
-            total_d += base_sketch.sketches[0]
-                .hamming(&so.sketches[0])
-                .unwrap();
+            total_d += base_sketch.sketches[0].hamming(&so.sketches[0]).unwrap();
             let mut index = BandedSketchIndex::new(nbits, params).unwrap();
             index.insert(ObjectId(9), &so).unwrap();
             if index
@@ -302,8 +302,14 @@ mod tests {
     fn multi_segment_objects_are_indexed_once_per_bucket() {
         let b = builder(64);
         let obj = DataObject::new(vec![
-            (FeatureVector::from_components(vec![0.2, 0.2, 0.2, 0.2]), 0.5),
-            (FeatureVector::from_components(vec![0.2, 0.2, 0.2, 0.2]), 0.5),
+            (
+                FeatureVector::from_components(vec![0.2, 0.2, 0.2, 0.2]),
+                0.5,
+            ),
+            (
+                FeatureVector::from_components(vec![0.2, 0.2, 0.2, 0.2]),
+                0.5,
+            ),
         ])
         .unwrap();
         let so = b.sketch_object(&obj).unwrap();

@@ -41,6 +41,7 @@ pub mod error;
 pub mod filter;
 pub mod index;
 pub mod object;
+pub mod parallel;
 pub mod plugin;
 pub mod rank;
 pub mod sketch;
@@ -51,7 +52,7 @@ pub mod prelude {
     pub use crate::distance::emd::{Emd, GreedyEmd, ThresholdedEmd};
     pub use crate::distance::hamming::{Hamming, NormalizedHamming, ScaledHamming, SketchDistance};
     pub use crate::distance::histogram::{ChiSquare, HistogramIntersection};
-    pub use crate::distance::lp::{L1, L2, LInf, Lp, WeightedL1};
+    pub use crate::distance::lp::{LInf, Lp, WeightedL1, L1, L2};
     pub use crate::distance::{ObjectDistance, SegmentDistance};
     pub use crate::engine::{
         EngineConfig, MetadataFootprint, QueryMode, QueryOptions, QueryResponse, QueryStats,
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::filter::{FilterParams, FilterScan, FilterStats};
     pub use crate::index::{BandedSketchIndex, BandingParams};
     pub use crate::object::{DataObject, ObjectId, Segment};
+    pub use crate::parallel::Parallelism;
     pub use crate::plugin::{Extractor, FileExtractor};
     pub use crate::rank::SearchResult;
     pub use crate::sketch::{BitVec, SketchBuilder, SketchParams, SketchedObject};

@@ -65,9 +65,7 @@ impl DataObject {
             sum += f64::from(*w);
         }
         if sum <= 0.0 {
-            return Err(CoreError::InvalidWeights(
-                "weights sum to zero".to_string(),
-            ));
+            return Err(CoreError::InvalidWeights("weights sum to zero".to_string()));
         }
         let segments = parts
             .into_iter()
@@ -163,7 +161,10 @@ mod tests {
 
     #[test]
     fn new_rejects_empty_and_bad_weights() {
-        assert!(matches!(DataObject::new(vec![]), Err(CoreError::EmptyObject)));
+        assert!(matches!(
+            DataObject::new(vec![]),
+            Err(CoreError::EmptyObject)
+        ));
         assert!(DataObject::new(vec![(fv(&[1.0]), -1.0)]).is_err());
         assert!(DataObject::new(vec![(fv(&[1.0]), f32::NAN)]).is_err());
         assert!(DataObject::new(vec![(fv(&[1.0]), 0.0)]).is_err());

@@ -40,6 +40,36 @@ where
     Ok(results)
 }
 
+/// Ranks candidates by object distance using `threads` worker threads.
+///
+/// Distances are computed per candidate on a work-stealing chunk queue
+/// (EMD cost varies with segment counts, so static partitioning would
+/// leave threads idle), then reassembled in candidate order before the
+/// `(distance, id)` sort — results are bit-identical to
+/// [`rank_candidates`] over the same slice for every thread count.
+pub fn rank_candidates_parallel<D>(
+    query: &DataObject,
+    candidates: &[(ObjectId, &DataObject)],
+    distance: &D,
+    k: usize,
+    threads: usize,
+) -> Result<Vec<SearchResult>>
+where
+    D: ObjectDistance + ?Sized,
+{
+    let mut results = crate::parallel::try_map_chunked(
+        threads,
+        crate::parallel::DEFAULT_CHUNK,
+        candidates,
+        |_, &(id, obj)| {
+            let d = distance.distance(query, obj)?;
+            Ok(SearchResult { id, distance: d })
+        },
+    )?;
+    sort_and_truncate(&mut results, k);
+    Ok(results)
+}
+
 /// Ranks precomputed `(id, distance)` scores.
 ///
 /// Used when distances are computed from sketches rather than through an
@@ -76,11 +106,7 @@ mod tests {
         let a = obj1(5.0);
         let b = obj1(1.0);
         let c = obj1(3.0);
-        let cands = vec![
-            (ObjectId(1), &a),
-            (ObjectId(2), &b),
-            (ObjectId(3), &c),
-        ];
+        let cands = vec![(ObjectId(1), &a), (ObjectId(2), &b), (ObjectId(3), &c)];
         let res = rank_candidates(&query, cands, &Emd::new(L1), 10).unwrap();
         let ids: Vec<u64> = res.iter().map(|r| r.id.0).collect();
         assert_eq!(ids, vec![2, 3, 1]);
@@ -109,6 +135,24 @@ mod tests {
         let res = rank_candidates(&query, cands, &Emd::new(L1), 10).unwrap();
         assert_eq!(res[0].id, ObjectId(1));
         assert_eq!(res[1].id, ObjectId(9));
+    }
+
+    #[test]
+    fn parallel_ranking_matches_serial() {
+        let query = obj1(0.0);
+        // Include exact-tie distances to exercise id tie-breaking.
+        let objs: Vec<DataObject> = (0..30).map(|i| obj1((i % 7) as f32)).collect();
+        let cands: Vec<(ObjectId, &DataObject)> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjectId(i as u64), o))
+            .collect();
+        let emd = Emd::new(L1);
+        let serial = rank_candidates(&query, cands.iter().copied(), &emd, 12).unwrap();
+        for threads in [1usize, 2, 5, 16] {
+            let parallel = rank_candidates_parallel(&query, &cands, &emd, 12, threads).unwrap();
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
     }
 
     #[test]

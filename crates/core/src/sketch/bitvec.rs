@@ -106,6 +106,30 @@ impl BitVec {
             .sum()
     }
 
+    /// Hamming distance if it does not exceed `limit`, else `None`.
+    ///
+    /// Word-level popcount that exits as soon as the running count
+    /// passes `limit`; the filtering scan uses it so dataset segments
+    /// that cannot enter a full k-NN heap (or are past the weight
+    /// threshold) stop being counted after the first few words.
+    #[inline]
+    pub fn hamming_within(&self, other: &Self, limit: u32) -> Result<Option<u32>> {
+        if self.len != other.len {
+            return Err(CoreError::SketchLengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        let mut acc = 0u32;
+        for (a, b) in self.words.iter().zip(other.words.iter()) {
+            acc += (a ^ b).count_ones();
+            if acc > limit {
+                return Ok(None);
+            }
+        }
+        Ok(Some(acc))
+    }
+
     /// The underlying words (trailing bits beyond `len` are zero).
     pub fn words(&self) -> &[u64] {
         &self.words
@@ -208,12 +232,43 @@ mod tests {
     }
 
     #[test]
+    fn hamming_within_matches_hamming_up_to_limit() {
+        let mut a = BitVec::zeros(200);
+        let mut b = BitVec::zeros(200);
+        for i in (0..200).step_by(3) {
+            a.set(i, true);
+        }
+        for i in (0..200).step_by(5) {
+            b.set(i, true);
+        }
+        let full = a.hamming(&b).unwrap();
+        for limit in [0, 1, full.saturating_sub(1), full, full + 1, u32::MAX] {
+            let within = a.hamming_within(&b, limit).unwrap();
+            if limit >= full {
+                assert_eq!(within, Some(full), "limit {limit}");
+            } else {
+                assert_eq!(within, None, "limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_within_rejects_length_mismatch() {
+        let a = BitVec::zeros(64);
+        let b = BitVec::zeros(65);
+        assert!(a.hamming_within(&b, 10).is_err());
+    }
+
+    #[test]
     fn hamming_rejects_length_mismatch() {
         let a = BitVec::zeros(64);
         let b = BitVec::zeros(65);
         assert!(matches!(
             a.hamming(&b),
-            Err(CoreError::SketchLengthMismatch { left: 64, right: 65 })
+            Err(CoreError::SketchLengthMismatch {
+                left: 64,
+                right: 65
+            })
         ));
     }
 

@@ -16,7 +16,7 @@
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::error::{CoreError, Result};
@@ -26,10 +26,16 @@ use crate::sketch::{BitVec, SketchedObject};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"FSKD");
 const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 12;
 
 /// Upper bound on segments per record, guarding recovery from corrupt
 /// counts.
 const MAX_SEGMENTS: u32 = 1 << 20;
+
+/// Records per chunk in the sharded scan's offset index. Small enough to
+/// balance shards on modest files, large enough that the index stays
+/// tiny relative to the data.
+const CHUNK_RECORDS: usize = 256;
 
 fn io_err(context: &str, e: std::io::Error) -> CoreError {
     CoreError::Io(format!("{context}: {e}"))
@@ -125,28 +131,50 @@ pub struct SketchFileReader {
     nbits: usize,
 }
 
+/// Reads and validates the file header, returning `nbits`.
+fn read_header<R: Read>(reader: &mut R) -> Result<usize> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    reader
+        .read_exact(&mut header)
+        .map_err(|e| io_err("read header", e))?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("len"));
+    if magic != MAGIC {
+        return Err(CoreError::Io("bad sketch file magic".into()));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("len"));
+    if version != VERSION {
+        return Err(CoreError::Io(format!("unsupported version {version}")));
+    }
+    let nbits = u32::from_le_bytes(header[8..12].try_into().expect("len")) as usize;
+    if nbits == 0 {
+        return Err(CoreError::Io("zero sketch length".into()));
+    }
+    Ok(nbits)
+}
+
 impl SketchFileReader {
     /// Opens a sketch file and validates its header.
     pub fn open(path: &Path) -> Result<Self> {
         let file = File::open(path).map_err(|e| io_err("open sketch file", e))?;
         let mut reader = BufReader::new(file);
-        let mut header = [0u8; 12];
-        reader
-            .read_exact(&mut header)
-            .map_err(|e| io_err("read header", e))?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().expect("len"));
-        if magic != MAGIC {
-            return Err(CoreError::Io("bad sketch file magic".into()));
-        }
-        let version = u32::from_le_bytes(header[4..8].try_into().expect("len"));
-        if version != VERSION {
-            return Err(CoreError::Io(format!("unsupported version {version}")));
-        }
-        let nbits = u32::from_le_bytes(header[8..12].try_into().expect("len")) as usize;
-        if nbits == 0 {
-            return Err(CoreError::Io("zero sketch length".into()));
-        }
+        let nbits = read_header(&mut reader)?;
         Ok(Self { reader, nbits })
+    }
+
+    /// Repositions the reader at an absolute byte offset (at or past the
+    /// header), as recorded by a chunk offset index. Sharded scans use
+    /// this so every worker thread reads its own file region through its
+    /// own handle.
+    pub fn seek_to(&mut self, offset: u64) -> Result<()> {
+        if offset < HEADER_LEN {
+            return Err(CoreError::Io(format!(
+                "offset {offset} inside sketch file header"
+            )));
+        }
+        self.reader
+            .seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("seek sketch file", e))?;
+        Ok(())
     }
 
     /// Sketch length this file stores.
@@ -221,16 +249,132 @@ pub fn filter_candidates_on_disk(
     params: &FilterParams,
 ) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
     let mut reader = SketchFileReader::open(path)?;
+    check_query_len(query, reader.nbits())?;
+    let mut scan = FilterScan::new(query, params)?;
+    reader.for_each(|id, so| scan.observe(id, so))?;
+    Ok(scan.finish())
+}
+
+fn check_query_len(query: &SketchedObject, nbits: usize) -> Result<()> {
     for s in &query.sketches {
-        if s.len() != reader.nbits() {
+        if s.len() != nbits {
             return Err(CoreError::SketchLengthMismatch {
                 left: s.len(),
-                right: reader.nbits(),
+                right: nbits,
             });
         }
     }
-    let mut scan = FilterScan::new(query, params)?;
-    reader.for_each(|id, so| scan.observe(id, so))?;
+    Ok(())
+}
+
+/// One entry of the offset index: where a run of records starts and how
+/// many records it holds.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    offset: u64,
+    records: usize,
+}
+
+/// Indexes the file into runs of at most `chunk_records` records by
+/// seek-skipping record payloads (no sketch decoding). Returns `nbits`
+/// and the chunk list.
+fn chunk_offsets(path: &Path, chunk_records: usize) -> Result<(usize, Vec<Chunk>)> {
+    let file = File::open(path).map_err(|e| io_err("open sketch file", e))?;
+    let mut reader = BufReader::new(file);
+    let nbits = read_header(&mut reader)?;
+    let words = nbits.div_ceil(64) as u64;
+    let mut chunks = Vec::new();
+    let mut pos = HEADER_LEN;
+    let mut chunk_start = pos;
+    let mut in_chunk = 0usize;
+    loop {
+        let mut record_header = [0u8; 12];
+        match reader.read_exact(&mut record_header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(io_err("read record header", e)),
+        }
+        let k = u32::from_le_bytes(record_header[8..12].try_into().expect("len"));
+        if k == 0 || k > MAX_SEGMENTS {
+            return Err(CoreError::Io(format!("implausible segment count {k}")));
+        }
+        let payload = u64::from(k) * (4 + words * 8);
+        reader
+            .seek_relative(payload as i64)
+            .map_err(|e| io_err("skip record payload", e))?;
+        pos += 12 + payload;
+        in_chunk += 1;
+        if in_chunk == chunk_records {
+            chunks.push(Chunk {
+                offset: chunk_start,
+                records: in_chunk,
+            });
+            chunk_start = pos;
+            in_chunk = 0;
+        }
+    }
+    if in_chunk > 0 {
+        chunks.push(Chunk {
+            offset: chunk_start,
+            records: in_chunk,
+        });
+    }
+    Ok((nbits, chunks))
+}
+
+/// Sharded out-of-core filtering: indexes the file into record chunks,
+/// assigns contiguous chunk runs to `threads` scoped workers — each with
+/// its own file handle seeked to its run's start — and merges the
+/// per-shard scans.
+///
+/// Candidates and statistics are bit-identical to
+/// [`filter_candidates_on_disk`] for every thread count, because heap
+/// admission in [`FilterScan`] is scan-order independent.
+pub fn filter_candidates_on_disk_sharded(
+    path: &Path,
+    query: &SketchedObject,
+    params: &FilterParams,
+    threads: usize,
+) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
+    if threads <= 1 {
+        return filter_candidates_on_disk(path, query, params);
+    }
+    let (nbits, chunks) = chunk_offsets(path, CHUNK_RECORDS)?;
+    check_query_len(query, nbits)?;
+    if chunks.len() <= 1 {
+        return filter_candidates_on_disk(path, query, params);
+    }
+    let shard_scans = crate::parallel::map_shards(threads, chunks.len(), |_, range| {
+        let run = &chunks[range];
+        let mut scan = FilterScan::new(query, params)?;
+        let mut reader = SketchFileReader::open(path)?;
+        reader.seek_to(run[0].offset)?;
+        let records: usize = run.iter().map(|c| c.records).sum();
+        let mut buffer = SketchedObject {
+            weights: Vec::new(),
+            sketches: Vec::new(),
+        };
+        for _ in 0..records {
+            match reader.read_into(&mut buffer)? {
+                Some(id) => scan.observe(id, &buffer)?,
+                None => {
+                    return Err(CoreError::Io(
+                        "sketch file shrank during sharded scan".into(),
+                    ))
+                }
+            }
+        }
+        Ok(scan)
+    });
+    let mut merged: Option<FilterScan> = None;
+    for scan in shard_scans {
+        let scan = scan?;
+        match &mut merged {
+            None => merged = Some(scan),
+            Some(m) => m.merge(scan),
+        }
+    }
+    let scan = merged.expect("chunk list non-empty");
     Ok(scan.finish())
 }
 
@@ -253,7 +397,10 @@ mod tests {
                 let x = (i as f32 + 0.5) / n as f32;
                 let obj = crate::object::DataObject::new(vec![
                     (FeatureVector::from_components(vec![x, 1.0 - x, x, x]), 0.6),
-                    (FeatureVector::from_components(vec![1.0 - x, x, 0.5, x]), 0.4),
+                    (
+                        FeatureVector::from_components(vec![1.0 - x, x, 0.5, x]),
+                        0.4,
+                    ),
                 ])
                 .unwrap();
                 (ObjectId(i as u64), builder.sketch_object(&obj).unwrap())
@@ -308,17 +455,70 @@ mod tests {
             candidates_per_segment: 15,
             ..FilterParams::default()
         };
-        let (mem_cands, mem_stats) = filter_candidates(
-            &query,
-            objects.iter().map(|(id, so)| (*id, so)),
-            &params,
-        )
-        .unwrap();
-        let (disk_cands, disk_stats) =
-            filter_candidates_on_disk(&path, &query, &params).unwrap();
+        let (mem_cands, mem_stats) =
+            filter_candidates(&query, objects.iter().map(|(id, so)| (*id, so)), &params).unwrap();
+        let (disk_cands, disk_stats) = filter_candidates_on_disk(&path, &query, &params).unwrap();
         assert_eq!(mem_cands, disk_cands);
         assert_eq!(mem_stats, disk_stats);
         assert!(mem_cands.contains(&ObjectId(3)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The sharded disk scan must be bit-identical to the serial disk
+    /// scan (and hence to the in-memory scan) for every thread count,
+    /// including counts that do not divide the chunk count evenly.
+    #[test]
+    fn sharded_disk_filter_matches_serial() {
+        let path = tmpfile("sharded");
+        // More than two CHUNK_RECORDS chunks so sharding really splits.
+        let objects = sketched_objects(900, 128);
+        let mut writer = SketchFileWriter::create(&path, 128).unwrap();
+        for (id, so) in &objects {
+            writer.append(*id, so).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let query = objects[11].1.clone();
+        let params = FilterParams {
+            query_segments: 2,
+            candidates_per_segment: 25,
+            ..FilterParams::default()
+        };
+        let (serial_cands, serial_stats) =
+            filter_candidates_on_disk(&path, &query, &params).unwrap();
+        for threads in [1usize, 2, 3, 7, 16] {
+            let (cands, stats) =
+                filter_candidates_on_disk_sharded(&path, &query, &params, threads).unwrap();
+            assert_eq!(serial_cands, cands, "threads {threads}");
+            assert_eq!(serial_stats, stats, "threads {threads}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_disk_filter_rejects_bad_query_and_torn_files() {
+        let path = tmpfile("sharded-bad");
+        let objects = sketched_objects(600, 64);
+        let mut writer = SketchFileWriter::create(&path, 64).unwrap();
+        for (id, so) in &objects {
+            writer.append(*id, so).unwrap();
+        }
+        writer.finish().unwrap();
+        let bad_query = SketchedObject {
+            weights: vec![1.0],
+            sketches: vec![BitVec::zeros(128)],
+        };
+        assert!(matches!(
+            filter_candidates_on_disk_sharded(&path, &bad_query, &FilterParams::default(), 4),
+            Err(CoreError::SketchLengthMismatch { .. })
+        ));
+        // Torn tail record must surface as an error from some shard.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let query = objects[0].1.clone();
+        assert!(
+            filter_candidates_on_disk_sharded(&path, &query, &FilterParams::default(), 4).is_err()
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -14,5 +14,8 @@ pub mod params;
 
 pub use bitvec::BitVec;
 pub use builder::{SketchBuilder, SketchedObject};
-pub use diskdb::{filter_candidates_on_disk, SketchFileReader, SketchFileWriter};
+pub use diskdb::{
+    filter_candidates_on_disk, filter_candidates_on_disk_sharded, SketchFileReader,
+    SketchFileWriter,
+};
 pub use params::SketchParams;

@@ -142,10 +142,7 @@ impl SketchParams {
         let d = self.dim();
         let mut p = vec![0.0f64; d];
         for i in 0..d {
-            let w = self
-                .dim_weights
-                .as_ref()
-                .map_or(1.0, |w| f64::from(w[i]));
+            let w = self.dim_weights.as_ref().map_or(1.0, |w| f64::from(w[i]));
             p[i] = w * f64::from(self.maxs[i] - self.mins[i]);
         }
         let sum: f64 = p.iter().sum();
@@ -192,15 +189,10 @@ mod tests {
         assert!((p[0] - 0.25).abs() < 1e-12);
         assert!((p[1] - 0.75).abs() < 1e-12);
 
-        let p = SketchParams::with_options(
-            8,
-            1,
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            Some(vec![3.0, 1.0]),
-        )
-        .unwrap()
-        .dimension_probabilities();
+        let p =
+            SketchParams::with_options(8, 1, vec![0.0, 0.0], vec![1.0, 1.0], Some(vec![3.0, 1.0]))
+                .unwrap()
+                .dimension_probabilities();
         assert!((p[0] - 0.75).abs() < 1e-12);
         assert!((p[1] - 0.25).abs() < 1e-12);
     }

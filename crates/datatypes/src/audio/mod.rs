@@ -269,7 +269,9 @@ pub fn generate_timit_dataset(cfg: &TimitConfig) -> Dataset {
             let speaker = Speaker::random(&mut rng);
             let gap = rng.random_range(55.0..75.0);
             let pcm = render_sentence(&sentence, &speaker, gap, &mut rng);
-            let obj = extractor.extract(&pcm).expect("synthesized speech extracts");
+            let obj = extractor
+                .extract(&pcm)
+                .expect("synthesized speech extracts");
             let id = ObjectId(next_id);
             next_id += 1;
             objects.push((id, obj));
@@ -282,7 +284,9 @@ pub fn generate_timit_dataset(cfg: &TimitConfig) -> Dataset {
         let speaker = Speaker::random(&mut rng);
         let gap = rng.random_range(55.0..75.0);
         let pcm = render_sentence(&sentence, &speaker, gap, &mut rng);
-        let obj = extractor.extract(&pcm).expect("synthesized speech extracts");
+        let obj = extractor
+            .extract(&pcm)
+            .expect("synthesized speech extracts");
         objects.push((ObjectId(next_id), obj));
         next_id += 1;
     }
@@ -380,7 +384,10 @@ mod tests {
         assert_eq!(segs.len(), 1, "one utterance expected");
         // Two sentences separated by 400 ms are two utterances.
         let mut two = one.clone();
-        two.extend(std::iter::repeat_n(0.0f32, (0.4 * SAMPLE_RATE as f64) as usize));
+        two.extend(std::iter::repeat_n(
+            0.0f32,
+            (0.4 * SAMPLE_RATE as f64) as usize,
+        ));
         two.extend(render_sentence(&words, &speaker(), 70.0, &mut rng));
         let segs = split_segments(&two, &SegmenterConfig::utterance());
         assert_eq!(segs.len(), 2, "two utterances expected");

@@ -127,9 +127,7 @@ pub fn render_word<R: Rng>(word: &WordTemplate, speaker: &Speaker, rng: &mut R) 
             let amps: Vec<f64> = (1..=num_harmonics)
                 .map(|k| {
                     let f = speaker.pitch * k as f64;
-                    let bump = |center: f64, width: f64| {
-                        (-((f - center) / width).powi(2)).exp()
-                    };
+                    let bump = |center: f64, width: f64| (-((f - center) / width).powi(2)).exp();
                     bump(f1, 180.0) + 0.7 * bump(f2, 280.0) + 0.02
                 })
                 .collect();

@@ -297,9 +297,8 @@ mod tests {
         for module in &modules {
             for i in 0..module.len() {
                 for j in i + 1..module.len() {
-                    intra.push(
-                        PearsonDistance.eval(matrix.gene(module[i]), matrix.gene(module[j])),
-                    );
+                    intra
+                        .push(PearsonDistance.eval(matrix.gene(module[i]), matrix.gene(module[j])));
                 }
             }
         }

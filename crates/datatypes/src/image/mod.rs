@@ -483,7 +483,11 @@ mod tests {
     fn mixed_images_statistics() {
         let objs = generate_mixed_images(200, 1);
         assert_eq!(objs.len(), 200);
-        let avg: f64 = objs.iter().map(|(_, o)| o.num_segments() as f64).sum::<f64>() / 200.0;
+        let avg: f64 = objs
+            .iter()
+            .map(|(_, o)| o.num_segments() as f64)
+            .sum::<f64>()
+            / 200.0;
         assert!((avg - 11.0).abs() < 1.5, "avg segments {avg}");
         for (_, o) in &objs {
             assert_eq!(o.dim(), IMAGE_DIM);

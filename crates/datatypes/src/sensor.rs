@@ -358,7 +358,9 @@ fn render_recording<R: Rng>(motifs: &[Motif], rng: &mut R) -> Vec<f32> {
 /// through the full episode-detection + feature pipeline.
 pub fn generate_sensor_dataset(cfg: &SensorConfig) -> Dataset {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let vocab: Vec<Motif> = (0..cfg.vocab_size).map(|_| Motif::random(&mut rng)).collect();
+    let vocab: Vec<Motif> = (0..cfg.vocab_size)
+        .map(|_| Motif::random(&mut rng))
+        .collect();
     let extractor = SensorExtractor::default();
     let mut objects = Vec::new();
     let mut similarity_sets = Vec::new();
@@ -423,7 +425,11 @@ mod tests {
     #[test]
     fn detects_episodes_between_gaps() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let motifs = [motif(3.0, 1.0, 2.0), motif(8.0, 0.8, 1.5), motif(1.0, 1.2, 2.5)];
+        let motifs = [
+            motif(3.0, 1.0, 2.0),
+            motif(8.0, 0.8, 1.5),
+            motif(1.0, 1.2, 2.5),
+        ];
         let pcm = render_recording(&motifs, &mut rng);
         let episodes = detect_episodes(&pcm, &EpisodeDetector::default());
         assert_eq!(episodes.len(), 3, "expected three episodes");
@@ -463,7 +469,10 @@ mod tests {
         let f_fast = episode_features(&fast.render(1.0, 1.0, &mut rng));
         let same = L1.eval(f_slow1.components(), f_slow2.components());
         let diff = L1.eval(f_slow1.components(), f_fast.components());
-        assert!(same < diff, "same-motif {same} not below cross-motif {diff}");
+        assert!(
+            same < diff,
+            "same-motif {same} not below cross-motif {diff}"
+        );
     }
 
     #[test]

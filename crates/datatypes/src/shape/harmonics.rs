@@ -30,8 +30,7 @@ pub fn assoc_legendre_table(max_degree: usize, x: f64) -> Vec<f64> {
             let mut p_curr = pmmp1;
             for l in m + 2..=l_max {
                 // (l-m) P_l^m = x (2l-1) P_{l-1}^m - (l+m-1) P_{l-2}^m.
-                let p_next = (x * (2 * l - 1) as f64 * p_curr
-                    - (l + m - 1) as f64 * p_prev)
+                let p_next = (x * (2 * l - 1) as f64 * p_curr - (l + m - 1) as f64 * p_prev)
                     / (l - m) as f64;
                 table[plm_index(l, m)] = p_next;
                 p_prev = p_curr;
@@ -166,7 +165,10 @@ mod tests {
             assert!((t[plm_index(0, 0)] - 1.0).abs() < 1e-12);
             assert!((t[plm_index(1, 0)] - x).abs() < 1e-12);
             let s = (1.0f64 - x * x).sqrt();
-            assert!((t[plm_index(1, 1)] + s).abs() < 1e-12, "P_1^1 = -sqrt(1-x^2)");
+            assert!(
+                (t[plm_index(1, 1)] + s).abs() < 1e-12,
+                "P_1^1 = -sqrt(1-x^2)"
+            );
             assert!((t[plm_index(2, 0)] - 0.5 * (3.0 * x * x - 1.0)).abs() < 1e-12);
             assert!((t[plm_index(2, 1)] + 3.0 * x * s).abs() < 1e-12);
             assert!((t[plm_index(2, 2)] - 3.0 * (1.0 - x * x)).abs() < 1e-12);

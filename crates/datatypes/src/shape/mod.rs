@@ -61,8 +61,9 @@ impl Primitive {
                 }
                 s <= 1.0
             }
-            Primitive::Cuboid { center, half } => (0..3)
-                .all(|i| (p[i] - center[i]).abs() <= half[i]),
+            Primitive::Cuboid { center, half } => {
+                (0..3).all(|i| (p[i] - center[i]).abs() <= half[i])
+            }
         }
     }
 }
@@ -177,16 +178,20 @@ impl VoxelGrid {
     /// Iterates centers of occupied voxels in `[-1, 1]³` coordinates.
     pub fn occupied_points(&self) -> impl Iterator<Item = [f64; 3]> + '_ {
         let n = self.n;
-        self.data.iter().enumerate().filter(|(_, &b)| b).map(move |(i, _)| {
-            let x = i % n;
-            let y = (i / n) % n;
-            let z = i / (n * n);
-            [
-                -1.0 + 2.0 * (x as f64 + 0.5) / n as f64,
-                -1.0 + 2.0 * (y as f64 + 0.5) / n as f64,
-                -1.0 + 2.0 * (z as f64 + 0.5) / n as f64,
-            ]
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(move |(i, _)| {
+                let x = i % n;
+                let y = (i / n) % n;
+                let z = i / (n * n);
+                [
+                    -1.0 + 2.0 * (x as f64 + 0.5) / n as f64,
+                    -1.0 + 2.0 * (y as f64 + 0.5) / n as f64,
+                    -1.0 + 2.0 * (z as f64 + 0.5) / n as f64,
+                ]
+            })
     }
 }
 

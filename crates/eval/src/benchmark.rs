@@ -94,10 +94,12 @@ impl BenchmarkSuite {
             }
             let members: Result<Vec<ObjectId>, _> = parts
                 .map(|tok| {
-                    tok.parse::<u64>().map(ObjectId).map_err(|_| BenchmarkParseError {
-                        line: lineno + 1,
-                        message: format!("invalid object id {tok:?}"),
-                    })
+                    tok.parse::<u64>()
+                        .map(ObjectId)
+                        .map_err(|_| BenchmarkParseError {
+                            line: lineno + 1,
+                            message: format!("invalid object id {tok:?}"),
+                        })
                 })
                 .collect();
             let members = members?;
@@ -142,13 +144,13 @@ mod tests {
 
     #[test]
     fn parse_basic() {
-        let suite = BenchmarkSuite::parse(
-            "# comment\n\nset dogs 1 2 3\nset cats 4 5\n",
-        )
-        .unwrap();
+        let suite = BenchmarkSuite::parse("# comment\n\nset dogs 1 2 3\nset cats 4 5\n").unwrap();
         assert_eq!(suite.len(), 2);
         assert_eq!(suite.sets[0].name, "dogs");
-        assert_eq!(suite.sets[0].members, vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert_eq!(
+            suite.sets[0].members,
+            vec![ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
         assert_eq!(suite.sets[1].members.len(), 2);
     }
 

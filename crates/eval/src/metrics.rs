@@ -53,7 +53,12 @@ pub fn score_query(
     // Sorted ranks of the gold objects.
     let mut gold_ranks: Vec<usize> = targets
         .iter()
-        .map(|id| rank_of.get(id).copied().unwrap_or(dataset_size.max(rank + 1)))
+        .map(|id| {
+            rank_of
+                .get(id)
+                .copied()
+                .unwrap_or(dataset_size.max(rank + 1))
+        })
         .collect();
     gold_ranks.sort_unstable();
 

@@ -121,7 +121,10 @@ fn http_reply(status: &str, content_type: &str, body: &str) -> String {
 }
 
 /// Routes one HTTP request path (with query string) to a JSON/HTML reply.
-pub fn route(service: &Arc<RwLock<FerretService>>, path_and_query: &str) -> (String, String, String) {
+pub fn route(
+    service: &Arc<RwLock<FerretService>>,
+    path_and_query: &str,
+) -> (String, String, String) {
     let (path, qs) = match path_and_query.split_once('?') {
         Some((p, q)) => (p, q),
         None => (path_and_query, ""),
@@ -142,7 +145,11 @@ pub fn route(service: &Arc<RwLock<FerretService>>, path_and_query: &str) -> (Str
         "/stat" => {
             let mut svc = service.write();
             match svc.execute(&crate::protocol::Command::Stat) {
-                Ok(resp) => ("200 OK".into(), "application/json".into(), response_to_json(&resp)),
+                Ok(resp) => (
+                    "200 OK".into(),
+                    "application/json".into(),
+                    response_to_json(&resp),
+                ),
                 Err(e) => error_json(&e.to_string()),
             }
         }
@@ -152,7 +159,11 @@ pub fn route(service: &Arc<RwLock<FerretService>>, path_and_query: &str) -> (Str
             };
             let mut svc = service.write();
             match svc.execute(&crate::protocol::Command::Attr { expression: q }) {
-                Ok(resp) => ("200 OK".into(), "application/json".into(), response_to_json(&resp)),
+                Ok(resp) => (
+                    "200 OK".into(),
+                    "application/json".into(),
+                    response_to_json(&resp),
+                ),
                 Err(e) => error_json(&e.to_string()),
             }
         }
@@ -308,11 +319,11 @@ pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ferret_attr::AttrsBuilder;
     use ferret_core::engine::EngineConfig;
     use ferret_core::object::{DataObject, ObjectId};
     use ferret_core::sketch::SketchParams;
     use ferret_core::vector::FeatureVector;
-    use ferret_attr::AttrsBuilder;
 
     fn service() -> Arc<RwLock<FerretService>> {
         let config = EngineConfig::basic(
@@ -325,7 +336,11 @@ mod tests {
             svc.insert(
                 ObjectId(i),
                 DataObject::single(FeatureVector::new(vec![x, x]).unwrap()),
-                Some(AttrsBuilder::new().keyword("parity", if i % 2 == 0 { "even" } else { "odd" }).build()),
+                Some(
+                    AttrsBuilder::new()
+                        .keyword("parity", if i % 2 == 0 { "even" } else { "odd" })
+                        .build(),
+                ),
             )
             .unwrap();
         }

@@ -115,9 +115,11 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
                 let (key, value) = parse_kv(token)?;
                 match key {
                     "id" => {
-                        id = Some(value.parse().map_err(|_| {
-                            ProtocolError(format!("invalid id {value:?}"))
-                        })?);
+                        id = Some(
+                            value
+                                .parse()
+                                .map_err(|_| ProtocolError(format!("invalid id {value:?}")))?,
+                        );
                     }
                     "k" => {
                         k = value
@@ -145,17 +147,19 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
                             .map_err(|_| ProtocolError(format!("invalid cand {value:?}")))?;
                     }
                     "threshold" => {
-                        filter.base_threshold = Some(value.parse().map_err(|_| {
-                            ProtocolError(format!("invalid threshold {value:?}"))
-                        })?);
+                        filter.base_threshold =
+                            Some(value.parse().map_err(|_| {
+                                ProtocolError(format!("invalid threshold {value:?}"))
+                            })?);
                     }
                     "attr" => attr = Some(value.to_string()),
                     "weights" => {
                         let parsed: Result<Vec<f32>, _> =
                             value.split(',').map(str::parse::<f32>).collect();
-                        weights = Some(parsed.map_err(|_| {
-                            ProtocolError(format!("invalid weights {value:?}"))
-                        })?);
+                        weights =
+                            Some(parsed.map_err(|_| {
+                                ProtocolError(format!("invalid weights {value:?}"))
+                            })?);
                     }
                     other => {
                         return Err(ProtocolError(format!("unknown parameter {other:?}")));
@@ -185,9 +189,11 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
             for token in &tokens[1..] {
                 let (key, value) = parse_kv(token)?;
                 if key == "id" {
-                    id = Some(value.parse().map_err(|_| {
-                        ProtocolError(format!("invalid id {value:?}"))
-                    })?);
+                    id = Some(
+                        value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid id {value:?}")))?,
+                    );
                 }
             }
             let id = id.ok_or_else(|| ProtocolError("delete requires id=<n>".into()))?;

@@ -10,11 +10,12 @@
 
 use std::collections::HashSet;
 
-use ferret_attr::{Attributes, AttrStore};
+use ferret_attr::{AttrStore, Attributes};
 use ferret_core::codec::{decode_object, encode_object};
 use ferret_core::engine::{EngineConfig, QueryOptions, QueryResponse, SearchEngine};
 use ferret_core::error::CoreError;
 use ferret_core::object::{DataObject, ObjectId};
+use ferret_core::parallel::Parallelism;
 use ferret_store::{Database, DbOptions, StoreError};
 
 use crate::protocol::{Command, ProtocolError, HELP_TEXT};
@@ -151,6 +152,7 @@ impl FerretService {
     ) -> Result<Self, ServiceError> {
         let db = Database::open_with(dir, db_options)?;
         let mut engine = SearchEngine::new(config);
+        let mut recovered = Vec::new();
         for (key, value) in db.iter_table(FEATURES_TABLE) {
             if key.len() != 8 {
                 return Err(ServiceError::Store(StoreError::Corrupt(
@@ -159,8 +161,11 @@ impl FerretService {
             }
             let id = ObjectId(u64::from_le_bytes(key.try_into().expect("len 8")));
             let obj = decode_object(value)?;
-            engine.insert(id, obj)?;
+            recovered.push((id, obj));
         }
+        // Sketch construction dominates recovery time, so the whole recovered
+        // set goes through the batch-parallel insert path.
+        engine.insert_batch(recovered)?;
         let attrs = AttrStore::load(&db)?;
         Ok(Self {
             engine,
@@ -177,6 +182,65 @@ impl FerretService {
     /// The attribute store (read access).
     pub fn attrs(&self) -> &AttrStore {
         &self.attrs
+    }
+
+    /// The engine's parallelism setting.
+    pub fn parallelism(&self) -> Parallelism {
+        self.engine.parallelism()
+    }
+
+    /// Changes the engine's parallelism setting for subsequent queries,
+    /// batch inserts, and rebuilds.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.engine.set_parallelism(parallelism);
+    }
+
+    /// Inserts a batch of objects (with optional attributes) in one go.
+    ///
+    /// Sketches are built with the engine's batch-parallel path and the
+    /// whole batch is validated up front, so either every object is
+    /// inserted or none is. When persistent, all metadata updates commit in
+    /// one transaction.
+    pub fn insert_batch(
+        &mut self,
+        items: Vec<(ObjectId, DataObject, Option<Attributes>)>,
+    ) -> Result<(), ServiceError> {
+        // Encode attribute payloads before mutating anything so an encoding
+        // failure leaves both engine and storage untouched.
+        let mut encoded_attrs = Vec::with_capacity(items.len());
+        for (_, _, attributes) in &items {
+            encoded_attrs.push(match attributes {
+                Some(attrs) => Some(ferret_attr::store::encode_attributes(attrs)?),
+                None => None,
+            });
+        }
+        let objects: Vec<(ObjectId, DataObject)> = items
+            .iter()
+            .map(|(id, obj, _)| (*id, obj.clone()))
+            .collect();
+        self.engine.insert_batch(objects)?;
+        if let Some(db) = self.db.as_mut() {
+            let mut txn = db.begin();
+            for ((id, object, _), encoded) in items.iter().zip(&encoded_attrs) {
+                txn.put(FEATURES_TABLE, &id.0.to_le_bytes(), &encode_object(object));
+                if let Some(bytes) = encoded {
+                    txn.put(ferret_attr::ATTR_TABLE, &id.0.to_le_bytes(), bytes);
+                }
+            }
+            if let Err(e) = txn.commit() {
+                // Roll the engine back so memory matches storage.
+                for (id, _, _) in &items {
+                    self.engine.remove(*id);
+                }
+                return Err(e.into());
+            }
+        }
+        for (id, _, attributes) in items {
+            if let Some(attrs) = attributes {
+                self.attrs.index_mut().insert(id, attrs);
+            }
+        }
+        Ok(())
     }
 
     /// Inserts an object with optional attributes; all metadata updates for
@@ -423,7 +487,9 @@ mod tests {
         let mut svc = populated();
         assert!(svc.execute_line("nonsense").starts_with("ERR"));
         assert!(svc.execute_line("query id=99").starts_with("ERR"));
-        assert!(svc.execute_line("query id=0 attr=\"((\"").starts_with("ERR"));
+        assert!(svc
+            .execute_line("query id=0 attr=\"((\"")
+            .starts_with("ERR"));
     }
 
     #[test]
@@ -460,5 +526,38 @@ mod tests {
     fn duplicate_insert_rejected() {
         let mut svc = populated();
         assert!(svc.insert(ObjectId(0), obj(0.5), None).is_err());
+    }
+
+    #[test]
+    fn batch_insert_matches_serial_and_is_atomic() {
+        let mut serial = FerretService::in_memory(config());
+        let mut batched = FerretService::in_memory(config());
+        batched.set_parallelism(Parallelism::Threads(3));
+        let attrs = |i: u64| Some(AttrsBuilder::new().int("idx", i as i64).build());
+        for i in 0..8u64 {
+            serial
+                .insert(ObjectId(i), obj(0.1 + 0.1 * i as f32), attrs(i))
+                .unwrap();
+        }
+        let items: Vec<_> = (0..8u64)
+            .map(|i| (ObjectId(i), obj(0.1 + 0.1 * i as f32), attrs(i)))
+            .collect();
+        batched.insert_batch(items).unwrap();
+        assert_eq!(
+            serial.execute_line("query id=0 k=4"),
+            batched.execute_line("query id=0 k=4")
+        );
+        assert_eq!(
+            serial.execute_line("attr idx>=5"),
+            batched.execute_line("attr idx>=5")
+        );
+        // Duplicate id inside a batch leaves the service untouched.
+        let dup: Vec<_> = [
+            (ObjectId(100), obj(0.3), None),
+            (ObjectId(100), obj(0.4), None),
+        ]
+        .into();
+        assert!(batched.insert_batch(dup).is_err());
+        assert_eq!(batched.engine().len(), 8);
     }
 }

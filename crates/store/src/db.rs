@@ -332,8 +332,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("ferret-db-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ferret-db-{name}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -476,7 +475,9 @@ mod tests {
         }
         // Two checkpoints should have fired; snapshot must exist.
         assert!(dir.join("snapshot.db").exists());
-        let snap = Snapshot::read_from(&dir.join("snapshot.db")).unwrap().unwrap();
+        let snap = Snapshot::read_from(&dir.join("snapshot.db"))
+            .unwrap()
+            .unwrap();
         assert!(snap.tables["t"].len() >= 20);
         std::fs::remove_dir_all(&dir).ok();
     }

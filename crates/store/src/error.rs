@@ -59,7 +59,9 @@ mod tests {
         let e = StoreError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(e.to_string().contains("gone"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(StoreError::Corrupt("bad crc".into()).to_string().contains("bad crc"));
+        assert!(StoreError::Corrupt("bad crc".into())
+            .to_string()
+            .contains("bad crc"));
         assert!(std::error::Error::source(&StoreError::TransactionClosed).is_none());
     }
 }

@@ -299,7 +299,8 @@ mod tests {
             let (mut wal, batches) = Wal::open(&path).unwrap();
             assert!(batches.is_empty());
             wal.append(&[put("t", b"k1", b"v1")]).unwrap();
-            wal.append(&[put("t", b"k2", b"v2"), del("t", b"k1")]).unwrap();
+            wal.append(&[put("t", b"k2", b"v2"), del("t", b"k1")])
+                .unwrap();
             wal.sync().unwrap();
         }
         let (wal, batches) = Wal::open(&path).unwrap();

@@ -34,11 +34,17 @@ enum ScriptOp {
 
 fn op_strategy() -> impl Strategy<Value = ScriptOp> {
     prop_oneof![
-        (0u8..3, any::<u8>(), prop::collection::vec(any::<u8>(), 0..24)).prop_map(
-            |(table, key, value)| ScriptOp::Put { table, key, value }
-        ),
+        (
+            0u8..3,
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..24)
+        )
+            .prop_map(|(table, key, value)| ScriptOp::Put { table, key, value }),
         (0u8..3, any::<u8>()).prop_map(|(table, key)| ScriptOp::Delete { table, key }),
-        (0u8..3, prop::collection::vec((any::<u8>(), any::<u8>()), 1..6))
+        (
+            0u8..3,
+            prop::collection::vec((any::<u8>(), any::<u8>()), 1..6)
+        )
             .prop_map(|(table, keys)| ScriptOp::MultiPut { table, keys }),
         Just(ScriptOp::Checkpoint),
     ]

@@ -51,10 +51,22 @@ fn main() {
     );
     let result = run_suite(&engine, &suite, &options).expect("suite runs");
     println!("filtering-mode quality over {} sentence sets:", suite.len());
-    println!("  average precision  {}", format_score(result.quality.average_precision));
-    println!("  first tier         {}", format_score(result.quality.first_tier));
-    println!("  second tier        {}", format_score(result.quality.second_tier));
-    println!("  mean query time    {}\n", format_duration(result.timing.mean));
+    println!(
+        "  average precision  {}",
+        format_score(result.quality.average_precision)
+    );
+    println!(
+        "  first tier         {}",
+        format_score(result.quality.first_tier)
+    );
+    println!(
+        "  second tier        {}",
+        format_score(result.quality.second_tier)
+    );
+    println!(
+        "  mean query time    {}\n",
+        format_duration(result.timing.mean)
+    );
 
     // Same sentence, different order of words, still similar: EMD "does
     // not respect order" (paper §5.2) — demonstrate with a direct query.
@@ -67,7 +79,11 @@ fn main() {
             "  {}  distance {:.4}{}",
             r.id,
             r.distance,
-            if same { "  (same sentence, another speaker)" } else { "" }
+            if same {
+                "  (same sentence, another speaker)"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -13,7 +13,9 @@ use ferret::core::distance::correlation::{PearsonDistance, SpearmanDistance};
 use ferret::core::distance::lp::L1;
 use ferret::core::distance::SegmentDistance;
 use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
-use ferret::datatypes::genomic::{generate_genomic_dataset, genomic_sketch_params, MicroarrayConfig};
+use ferret::datatypes::genomic::{
+    generate_genomic_dataset, genomic_sketch_params, MicroarrayConfig,
+};
 use ferret::eval::{format_score, run_suite, BenchmarkSuite};
 
 fn main() {

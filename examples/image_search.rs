@@ -24,8 +24,10 @@ fn main() {
         noise: 0.02,
         seed: 20,
     };
-    println!("generating {} images (render -> segment -> extract)...",
-        cfg.num_sets * cfg.set_size + cfg.num_distractors);
+    println!(
+        "generating {} images (render -> segment -> extract)...",
+        cfg.num_sets * cfg.set_size + cfg.num_distractors
+    );
     let dataset = generate_vary_dataset(&cfg);
     println!(
         "dataset: {} objects, {:.1} segments/object on average\n",
@@ -57,25 +59,51 @@ fn main() {
         },
     );
     let result = run_suite(&engine, &suite, &options).expect("suite runs");
-    println!("filtering-mode quality over {} similarity sets:", suite.len());
-    println!("  average precision  {}", format_score(result.quality.average_precision));
-    println!("  first tier         {}", format_score(result.quality.first_tier));
-    println!("  second tier        {}", format_score(result.quality.second_tier));
-    println!("  mean query time    {}", format_duration(result.timing.mean));
-    println!("  candidates ranked  {:.1}/query\n", result.avg_distance_evals);
+    println!(
+        "filtering-mode quality over {} similarity sets:",
+        suite.len()
+    );
+    println!(
+        "  average precision  {}",
+        format_score(result.quality.average_precision)
+    );
+    println!(
+        "  first tier         {}",
+        format_score(result.quality.first_tier)
+    );
+    println!(
+        "  second tier        {}",
+        format_score(result.quality.second_tier)
+    );
+    println!(
+        "  mean query time    {}",
+        format_duration(result.timing.mean)
+    );
+    println!(
+        "  candidates ranked  {:.1}/query\n",
+        result.avg_distance_evals
+    );
 
     // A single interactive-style query: find images similar to the first
     // member of the first similarity set.
     let seed = dataset.similarity_sets[0][0];
     let resp = engine.query_by_id(seed, &options).expect("query");
-    println!("query {} -> top {} results:", seed, resp.results.len().min(5));
+    println!(
+        "query {} -> top {} results:",
+        seed,
+        resp.results.len().min(5)
+    );
     for r in resp.results.iter().take(5) {
         let planted = dataset.similarity_sets[0].contains(&r.id);
         println!(
             "  {}  distance {:.4}{}",
             r.id,
             r.distance,
-            if planted { "  (same similarity set)" } else { "" }
+            if planted {
+                "  (same similarity set)"
+            } else {
+                ""
+            }
         );
     }
 }

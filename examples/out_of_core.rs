@@ -46,7 +46,10 @@ fn main() {
     let start = std::time::Instant::now();
     let (mem, mem_stats) = filter_candidates(
         &query,
-        engine.ids().iter().map(|&id| (id, engine.sketched(id).expect("sketched"))),
+        engine
+            .ids()
+            .iter()
+            .map(|&id| (id, engine.sketched(id).expect("sketched"))),
         &params,
     )
     .expect("memory filter");
@@ -54,7 +57,8 @@ fn main() {
 
     // Streaming the file.
     let start = std::time::Instant::now();
-    let (disk, disk_stats) = filter_candidates_on_disk(&path, &query, &params).expect("disk filter");
+    let (disk, disk_stats) =
+        filter_candidates_on_disk(&path, &query, &params).expect("disk filter");
     let disk_time = start.elapsed();
 
     println!(
@@ -68,6 +72,9 @@ fn main() {
         disk_stats.segments_scanned
     );
     assert_eq!(mem, disk, "candidate sets must be identical");
-    println!("candidate sets identical; query object found: {}", disk.contains(&ObjectId(17)));
+    println!(
+        "candidate sets identical; query object found: {}",
+        disk.contains(&ObjectId(17))
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -26,8 +26,11 @@ fn main() -> Result<()> {
             id += 1;
         }
     }
-    println!("indexed {} objects, {} bytes of sketches\n", engine.len(),
-        engine.metadata_footprint().sketch_bytes);
+    println!(
+        "indexed {} objects, {} bytes of sketches\n",
+        engine.len(),
+        engine.metadata_footprint().sketch_bytes
+    );
 
     // 3. Query near the first cluster with each mode.
     let query = DataObject::single(FeatureVector::new(vec![0.21, 0.19])?);

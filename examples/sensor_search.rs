@@ -49,11 +49,26 @@ fn main() {
         },
     );
     let result = run_suite(&engine, &suite, &options).expect("suite runs");
-    println!("filtering-mode quality over {} recording sets:", suite.len());
-    println!("  average precision  {}", format_score(result.quality.average_precision));
-    println!("  first tier         {}", format_score(result.quality.first_tier));
-    println!("  second tier        {}", format_score(result.quality.second_tier));
-    println!("  mean query time    {}\n", format_duration(result.timing.mean));
+    println!(
+        "filtering-mode quality over {} recording sets:",
+        suite.len()
+    );
+    println!(
+        "  average precision  {}",
+        format_score(result.quality.average_precision)
+    );
+    println!(
+        "  first tier         {}",
+        format_score(result.quality.first_tier)
+    );
+    println!(
+        "  second tier        {}",
+        format_score(result.quality.second_tier)
+    );
+    println!(
+        "  mean query time    {}\n",
+        format_duration(result.timing.mean)
+    );
 
     let seed = dataset.similarity_sets[0][0];
     let resp = engine.query_by_id(seed, &options).expect("query");

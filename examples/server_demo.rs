@@ -120,7 +120,11 @@ fn main() {
     // Serve the command-line protocol over TCP and the web interface.
     let tcp = Server::start(Arc::clone(&service), "127.0.0.1:0").expect("tcp server");
     let web = HttpServer::start(Arc::clone(&service), "127.0.0.1:0").expect("http server");
-    println!("tcp server on {}, web interface on http://{}/", tcp.addr(), web.addr());
+    println!(
+        "tcp server on {}, web interface on http://{}/",
+        tcp.addr(),
+        web.addr()
+    );
 
     // Talk to it like a script would (paper §4.1.4).
     let mut client = Client::connect(tcp.addr()).expect("connect");

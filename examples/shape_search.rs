@@ -40,15 +40,28 @@ fn main() {
     // SHD baseline = brute force over the original 544-d descriptors.
     let baseline = run_suite(&engine, &suite, &QueryOptions::brute_force(10)).expect("suite");
     // Ferret = brute force over 800-bit sketches.
-    let sketched = run_suite(&engine, &suite, &QueryOptions::brute_force_sketch(10)).expect("suite");
+    let sketched =
+        run_suite(&engine, &suite, &QueryOptions::brute_force_sketch(10)).expect("suite");
 
     let fp = engine.metadata_footprint();
     println!("SHD baseline (original descriptors):");
-    println!("  average precision  {}", format_score(baseline.quality.average_precision));
-    println!("  first tier         {}", format_score(baseline.quality.first_tier));
+    println!(
+        "  average precision  {}",
+        format_score(baseline.quality.average_precision)
+    );
+    println!(
+        "  first tier         {}",
+        format_score(baseline.quality.first_tier)
+    );
     println!("ferret (800-bit sketches):");
-    println!("  average precision  {}", format_score(sketched.quality.average_precision));
-    println!("  first tier         {}", format_score(sketched.quality.first_tier));
+    println!(
+        "  average precision  {}",
+        format_score(sketched.quality.average_precision)
+    );
+    println!(
+        "  first tier         {}",
+        format_score(sketched.quality.first_tier)
+    );
     println!(
         "  metadata saving    {} (feature bytes {} vs sketch bytes {})\n",
         format_ratio(fp.ratio()),

@@ -1,0 +1,290 @@
+//! Offline vendored subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of criterion this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_function`/
+//! `finish`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a simple warm-up + timed-batch loop reporting the mean
+//! and min/max per-iteration time (plus element throughput when set). It
+//! has no statistical outlier analysis, HTML reports, or saved baselines;
+//! results print to stdout, one line per benchmark. Honoring upstream's
+//! CLI contract just enough for `cargo bench` pass-through arguments, a
+//! single positional argument acts as a substring filter on benchmark
+//! names and `--bench`/`--test`-style flags are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean/min/max per-iteration time of the measured batches.
+    result: Option<(Duration, Duration, Duration)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then `sample_size` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so each one takes roughly 5 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(200) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((0.005 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed() / u32::try_from(batch).expect("batch fits u32");
+            total += elapsed;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+        }
+        let mean = total / u32::try_from(self.sample_size).expect("sample size fits u32");
+        self.result = Some((mean, min, max));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides measurement time (accepted for API parity; unused).
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            result: None,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&full, self.throughput, bencher.result);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes its extra args through; treat the first
+        // non-flag argument as a name filter like upstream does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API parity with upstream's configuration chain.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.matches(name) {
+            let mut bencher = Bencher {
+                result: None,
+                sample_size: 10,
+            };
+            f(&mut bencher);
+            report(name, None, bencher.result);
+        }
+        self
+    }
+
+    /// Final-report hook (no-op; exists for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(
+    name: &str,
+    throughput: Option<Throughput>,
+    result: Option<(Duration, Duration, Duration)>,
+) {
+    let Some((mean, min, max)) = result else {
+        println!("{name:<48} (no measurement)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / mean.as_secs_f64().max(1e-12);
+            format!("  {per_sec:>12.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / mean.as_secs_f64().max(1e-12);
+            format!("  {:>12.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<48} mean {:>12?}  [min {:>12?}, max {:>12?}]{rate}",
+        mean, min, max
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut ran = false;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(2);
+            group.throughput(Throughput::Elements(10));
+            group.bench_function(BenchmarkId::from_parameter(1), |b| {
+                b.iter(|| {
+                    ran = true;
+                    std::hint::black_box(1 + 1)
+                })
+            });
+            group.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scan", 4).to_string(), "scan/4");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

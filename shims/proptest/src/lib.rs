@@ -1,0 +1,592 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of proptest this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`/`boxed`, range /
+//! tuple / collection / `Just` / simple-regex strategies, `any::<T>()`,
+//! and the `proptest!` / `prop_assert*!` / `prop_oneof!` macros.
+//!
+//! Differences from upstream, deliberate for a hermetic build:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name (plus an optional `PROPTEST_SEED` environment
+//!   override), so failures reproduce exactly across runs.
+//! - **String strategies** accept only the tiny regex subset the
+//!   workspace uses (`.{a,b}`-style length classes); anything else falls
+//!   back to bounded arbitrary printable strings.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Test-runner plumbing: the RNG handed to strategies.
+pub mod test_runner {
+    use super::*;
+
+    /// The random source driving one property test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) ChaCha8Rng);
+
+    impl TestRng {
+        /// Creates a deterministic RNG for the named test, honouring a
+        /// `PROPTEST_SEED` environment override.
+        pub fn for_test(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis.
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(v) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = v.parse::<u64>() {
+                    seed ^= extra;
+                }
+            }
+            Self(ChaCha8Rng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying (bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value: Debug;
+    fn sample_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T: Debug> Union<T> {
+    /// Creates a union over the given alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self(options)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------- ranges --
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------- tuples --
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ------------------------------------------------------------- arbitrary --
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII with occasional wider code points.
+        if rng.random_bool(0.9) {
+            char::from(rng.random_range(0x20u8..0x7f))
+        } else {
+            char::from_u32(rng.random_range(0xa0u32..0x2fff)).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+// ------------------------------------------------------------- str regex --
+
+/// `&str` literals act as (very small subset) regex string strategies.
+///
+/// Supported: `X{a,b}` where `X` is `.` (any char except newlines) or a
+/// character class `[...]` with literal characters and `a-z` ranges.
+/// Unsupported patterns fall back to arbitrary strings of length 0..=64.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (lens, class) = match parse_simple_regex(self) {
+            Some(parsed) => parsed,
+            None => (0..=64, CharClass::Any),
+        };
+        let len = rng.random_range(lens);
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+enum CharClass {
+    /// Any char except `\n`/`\r` (regex `.` semantics).
+    Any,
+    /// An explicit set of chars.
+    Set(Vec<char>),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Any => loop {
+                let c = char::arbitrary(rng);
+                if c != '\n' && c != '\r' {
+                    return c;
+                }
+            },
+            CharClass::Set(chars) => chars[rng.random_range(0..chars.len())],
+        }
+    }
+}
+
+fn parse_simple_regex(pattern: &str) -> Option<(RangeInclusive<usize>, CharClass)> {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (CharClass::Any, rest)
+    } else if let Some(end) = pattern.strip_prefix('[').and_then(|r| r.find(']')) {
+        let body = &pattern[1..=end];
+        let mut chars = Vec::new();
+        let raw: Vec<char> = body[..body.len() - 1].chars().collect();
+        let mut i = 0;
+        while i < raw.len() {
+            if i + 2 < raw.len() && raw[i + 1] == '-' {
+                let (lo, hi) = (raw[i] as u32, raw[i + 2] as u32);
+                for c in lo..=hi {
+                    chars.extend(char::from_u32(c));
+                }
+                i += 3;
+            } else {
+                chars.push(raw[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        (CharClass::Set(chars), &pattern[end + 2..])
+    } else {
+        return None;
+    };
+    if rest.is_empty() {
+        return Some((1..=1, class));
+    }
+    if rest == "*" {
+        return Some((0..=64, class));
+    }
+    if rest == "+" {
+        return Some((1..=64, class));
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match body.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((lo..=hi, class))
+}
+
+// ------------------------------------------------------------ collection --
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Re-export for `prop::collection::vec(...)` paths.
+    pub mod collection {
+        use super::super::*;
+
+        /// Accepted size arguments for [`vec`].
+        pub trait SizeRange {
+            /// Draws a concrete size.
+            fn sample_size(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn sample_size(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for Range<usize> {
+            fn sample_size(&self, rng: &mut TestRng) -> usize {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl SizeRange for RangeInclusive<usize> {
+            fn sample_size(&self, rng: &mut TestRng) -> usize {
+                rng.random_range(self.clone())
+            }
+        }
+
+        /// Strategy for vectors of `element` values with `size` entries.
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.sample_size(rng);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Generates vectors whose length is drawn from `size`.
+        pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros --
+
+/// Runs each contained test function over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&{ $strat }, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_vec_and_map() {
+        let mut rng = TestRng::for_test("shim_smoke");
+        let s = prop::collection::vec((0.0f32..1.0, 1usize..4), 2..5).prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = s.sample(&mut rng);
+            assert!((2..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn regex_subset() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..50 {
+            let s = ".{0,12}".sample(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(!s.contains('\n'));
+            let t = "[a-c]{2,3}".sample(&mut rng);
+            assert!((2..=3).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let mut rng = TestRng::for_test("oneof");
+        let s = prop_oneof![Just(1usize), (5usize..7).prop_map(|x| x)];
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!(v == 1 || (5..7).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_binds_arguments(a in 0u64..10, b in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(b.len() < 4);
+        }
+    }
+}

@@ -22,6 +22,7 @@ use ferret::acquire::{ImportSink, Importer};
 use ferret::attr::Attributes;
 use ferret::core::engine::EngineConfig;
 use ferret::core::object::{DataObject, ObjectId};
+use ferret::core::parallel::Parallelism;
 use ferret::core::sketch::SketchParams;
 use ferret::datatypes::generic::FvecExtractor;
 use ferret::query::{Client, FerretService, HttpServer, Server, ServiceError};
@@ -36,13 +37,14 @@ struct Options {
     tcp: String,
     http: String,
     scan_interval: u64,
+    threads: Parallelism,
     addr: Option<String>,
     rest: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -57,14 +59,13 @@ fn parse_options(args: &[String]) -> Options {
         tcp: "127.0.0.1:7878".to_string(),
         http: "127.0.0.1:8080".to_string(),
         scan_interval: 5,
+        threads: Parallelism::Auto,
         addr: None,
         rest: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
-        let need = |i: usize| -> &String {
-            args.get(i + 1).unwrap_or_else(|| usage())
-        };
+        let need = |i: usize| -> &String { args.get(i + 1).unwrap_or_else(|| usage()) };
         match args[i].as_str() {
             "--db" => {
                 opts.db = Some(PathBuf::from(need(i)));
@@ -98,6 +99,10 @@ fn parse_options(args: &[String]) -> Options {
                 opts.scan_interval = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--threads" => {
+                opts.threads = parse_threads(need(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
             "--addr" => {
                 opts.addr = Some(need(i).clone());
                 i += 2;
@@ -109,6 +114,14 @@ fn parse_options(args: &[String]) -> Options {
         }
     }
     opts
+}
+
+fn parse_threads(value: &str) -> Option<Parallelism> {
+    match value {
+        "auto" => Some(Parallelism::Auto),
+        "serial" => Some(Parallelism::Serial),
+        n => n.parse::<usize>().ok().map(Parallelism::Threads),
+    }
 }
 
 struct ServiceSink<'a>(&'a mut FerretService);
@@ -133,6 +146,28 @@ impl ImportSink for ServiceSink<'_> {
         self.0.remove(id)?;
         Ok(())
     }
+
+    fn upsert_batch(
+        &mut self,
+        items: Vec<(ObjectId, DataObject, Attributes, PathBuf)>,
+    ) -> Vec<Result<(), ServiceError>> {
+        // Fresh ids can be sketched batch-parallel in one atomic insert;
+        // updates (or a failing batch) fall back to per-item upserts so
+        // failures attribute to individual files.
+        if items.iter().all(|(id, ..)| !self.0.engine().contains(*id)) {
+            let batch: Vec<_> = items
+                .iter()
+                .map(|(id, object, attrs, _)| (*id, object.clone(), Some(attrs.clone())))
+                .collect();
+            if self.0.insert_batch(batch).is_ok() {
+                return items.iter().map(|_| Ok(())).collect();
+            }
+        }
+        items
+            .into_iter()
+            .map(|(id, object, attrs, path)| self.upsert(id, object, attrs, &path))
+            .collect()
+    }
 }
 
 fn open_service(opts: &Options) -> FerretService {
@@ -151,7 +186,8 @@ fn open_service(opts: &Options) -> FerretService {
         None,
     )
     .expect("valid sketch parameters");
-    let config = EngineConfig::basic(params, 0xFE44E7);
+    let mut config = EngineConfig::basic(params, 0xFE44E7);
+    config.parallelism = opts.threads;
     match FerretService::open(&db, config, DbOptions::default()) {
         Ok(svc) => svc,
         Err(e) => {
@@ -204,15 +240,23 @@ fn cmd_serve(opts: &Options) {
     if let Err(e) = service.retune_sketches(opts.bits, opts.xor_folds, 0xFE44E7) {
         eprintln!("warning: sketch retuning failed: {e}");
     } else if !service.engine().is_empty() {
-        println!("sketch parameters derived from {} objects", service.engine().len());
+        println!(
+            "sketch parameters derived from {} objects",
+            service.engine().len()
+        );
     }
     let service = Arc::new(RwLock::new(service));
 
     let tcp = Server::start(Arc::clone(&service), &opts.tcp).expect("tcp server");
     let http = HttpServer::start(Arc::clone(&service), &opts.http).expect("http server");
+    println!("query parallelism: {}", opts.threads);
     println!("tcp protocol on {}", tcp.addr());
     println!("web interface on http://{}/", http.addr());
-    println!("watching {} every {}s; Ctrl-C to stop", watch.display(), opts.scan_interval);
+    println!(
+        "watching {} every {}s; Ctrl-C to stop",
+        watch.display(),
+        opts.scan_interval
+    );
 
     loop {
         std::thread::sleep(std::time::Duration::from_secs(opts.scan_interval.max(1)));

@@ -1,0 +1,188 @@
+//! Property tests for the determinism contract of the parallel execution
+//! layer: every query path must return bit-identical answers for every
+//! thread count (see DESIGN.md §4, "Threading model").
+
+use proptest::prelude::*;
+
+use ferret::core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret::core::filter::{filter_candidates, filter_candidates_sharded, FilterParams};
+use ferret::core::object::{DataObject, ObjectId};
+use ferret::core::parallel::Parallelism;
+use ferret::core::sketch::{
+    filter_candidates_on_disk, filter_candidates_on_disk_sharded, SketchBuilder, SketchFileWriter,
+    SketchParams, SketchedObject,
+};
+use ferret::core::vector::FeatureVector;
+
+fn vec_strategy(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..1.0, dim)
+}
+
+fn object_strategy(dim: usize) -> impl Strategy<Value = DataObject> {
+    prop::collection::vec((vec_strategy(dim), 0.1f32..2.0), 1..4).prop_map(|parts| {
+        DataObject::new(
+            parts
+                .into_iter()
+                .map(|(c, w)| (FeatureVector::from_components(c), w))
+                .collect(),
+        )
+        .expect("valid generated object")
+    })
+}
+
+fn engine_with(objects: &[DataObject], seed: u64) -> SearchEngine {
+    let params = SketchParams::new(64, vec![0.0; 3], vec![1.0; 3]).unwrap();
+    let mut engine = SearchEngine::new(EngineConfig::basic(params, seed));
+    engine.set_parallelism(Parallelism::Serial);
+    for (i, obj) in objects.iter().enumerate() {
+        engine.insert(ObjectId(i as u64), obj.clone()).unwrap();
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Filtering and brute-force-original queries return identical ids,
+    /// distances, and scan statistics for every parallelism setting.
+    #[test]
+    fn queries_identical_across_thread_counts(
+        objects in prop::collection::vec(object_strategy(3), 4..14),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut engine = engine_with(&objects, seed);
+        let opts = [
+            QueryOptions {
+                mode: QueryMode::BruteForceOriginal,
+                k,
+                ..QueryOptions::default()
+            },
+            QueryOptions {
+                mode: QueryMode::Filtering,
+                k,
+                filter: FilterParams {
+                    query_segments: 2,
+                    candidates_per_segment: 3,
+                    ..FilterParams::default()
+                },
+                ..QueryOptions::default()
+            },
+        ];
+        let baselines: Vec<_> = opts
+            .iter()
+            .map(|o| engine.query_by_id(ObjectId(0), o).unwrap())
+            .collect();
+        for p in [Parallelism::Threads(2), Parallelism::Threads(7)] {
+            engine.set_parallelism(p);
+            for (o, base) in opts.iter().zip(&baselines) {
+                let resp = engine.query_by_id(ObjectId(0), o).unwrap();
+                prop_assert_eq!(&resp.results, &base.results, "{} {:?}", p, o.mode);
+                prop_assert_eq!(resp.stats.objects_scanned, base.stats.objects_scanned);
+                prop_assert_eq!(resp.stats.segments_scanned, base.stats.segments_scanned);
+                prop_assert_eq!(resp.stats.distance_evals, base.stats.distance_evals);
+            }
+        }
+    }
+
+    /// The sharded in-memory filter scan yields the exact candidate set
+    /// and statistics of the serial scan.
+    #[test]
+    fn sharded_filter_candidates_identical(
+        objects in prop::collection::vec(object_strategy(3), 4..20),
+        cand in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let engine = engine_with(&objects, seed);
+        let query = engine.sketched(ObjectId(0)).unwrap().clone();
+        let params = FilterParams {
+            query_segments: 2,
+            candidates_per_segment: cand,
+            ..FilterParams::default()
+        };
+        let dataset: Vec<(ObjectId, &SketchedObject)> = engine
+            .ids()
+            .iter()
+            .map(|&id| (id, engine.sketched(id).unwrap()))
+            .collect();
+        let (serial_set, serial_stats) =
+            filter_candidates(&query, dataset.iter().map(|&(id, so)| (id, so)), &params)
+                .unwrap();
+        for threads in [2usize, 7] {
+            let (set, stats) =
+                filter_candidates_sharded(&query, &dataset, &params, threads).unwrap();
+            prop_assert_eq!(&set, &serial_set, "threads {}", threads);
+            prop_assert_eq!(stats, serial_stats, "threads {}", threads);
+        }
+    }
+}
+
+/// Deterministic pseudo-random components without a generator dependency.
+fn mix(seed: u64, i: u64, d: u64) -> f32 {
+    let mut z = seed
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(d.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    (z % 10_000) as f32 / 10_000.0
+}
+
+proptest! {
+    // Disk datasets must exceed one 256-record chunk to shard, so cases
+    // are few but large.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sharded on-disk filter scan yields the exact candidate set and
+    /// statistics of the serial scan.
+    #[test]
+    fn disk_scan_identical_across_thread_counts(
+        seed in 0u64..1000,
+        n in 300usize..520,
+    ) {
+        let params = SketchParams::new(64, vec![0.0; 3], vec![1.0; 3]).unwrap();
+        let builder = SketchBuilder::new(params, seed);
+        let sketch_of = |i: u64| {
+            let obj = DataObject::single(
+                FeatureVector::new(vec![mix(seed, i, 0), mix(seed, i, 1), mix(seed, i, 2)])
+                    .unwrap(),
+            );
+            builder.sketch_object(&obj).unwrap()
+        };
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "ferret-par-disk-{}-{seed}-{n}.sketch",
+            std::process::id()
+        ));
+        let mut writer = SketchFileWriter::create(&path, 64).unwrap();
+        for i in 0..n as u64 {
+            writer.append(ObjectId(i), &sketch_of(i)).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let query = sketch_of(0);
+        let fparams = FilterParams {
+            query_segments: 1,
+            candidates_per_segment: 8,
+            ..FilterParams::default()
+        };
+        let outcome = (|| {
+            let (serial_set, serial_stats) =
+                filter_candidates_on_disk(&path, &query, &fparams)?;
+            let mut sharded = Vec::new();
+            for threads in [2usize, 7] {
+                sharded.push((
+                    threads,
+                    filter_candidates_on_disk_sharded(&path, &query, &fparams, threads)?,
+                ));
+            }
+            Ok::<_, ferret::core::error::CoreError>((serial_set, serial_stats, sharded))
+        })();
+        std::fs::remove_file(&path).ok();
+        let (serial_set, serial_stats, sharded) = outcome.unwrap();
+        for (threads, (set, stats)) in sharded {
+            prop_assert_eq!(&set, &serial_set, "threads {}", threads);
+            prop_assert_eq!(stats, serial_stats, "threads {}", threads);
+        }
+    }
+}

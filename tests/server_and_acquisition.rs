@@ -59,7 +59,9 @@ fn tcp_protocol_full_session() {
     assert_eq!(lines[0], "OK 3");
     assert!(lines[1].starts_with("2 0.000000"), "{reply}");
 
-    let reply = client.send("query id=0 k=2 mode=filter attr=\"half:second\"").unwrap();
+    let reply = client
+        .send("query id=0 k=2 mode=filter attr=\"half:second\"")
+        .unwrap();
     for line in reply.lines().skip(1) {
         let id: u64 = line.split_whitespace().next().unwrap().parse().unwrap();
         assert!(id >= 5, "attr restriction violated: {reply}");
@@ -102,11 +104,14 @@ impl FileExtractor for PointsExtractor {
     }
 
     fn extract_file(&self, path: &Path) -> CoreResult<DataObject> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CoreError::Extraction(e.to_string()))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CoreError::Extraction(e.to_string()))?;
         let mut parts = Vec::new();
         for line in text.lines() {
-            let nums: Vec<f32> = line.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            let nums: Vec<f32> = line
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect();
             if nums.len() == 2 {
                 parts.push((FeatureVector::new(nums)?, 1.0));
             }
