@@ -1,0 +1,144 @@
+//! Benchmark for the observability layer: what does an enabled
+//! `MetricsRegistry` cost on the query hot path?
+//!
+//! Measures a filter-mode query over a mid-size image dataset with
+//! telemetry off and on, plus the raw cost of single registry operations.
+//! Besides the criterion report, the run writes a machine-readable
+//! `BENCH_telemetry.json` at the repository root with the per-query means
+//! and the relative overhead.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ferret_core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret_core::filter::FilterParams;
+use ferret_core::object::ObjectId;
+use ferret_core::telemetry::{MetricsRegistry, Unit, LATENCY_BUCKETS_NS};
+use ferret_datatypes::image::{generate_mixed_images, image_sketch_params};
+
+const DATASET: usize = 5_000;
+
+fn engine_with(n: usize) -> SearchEngine {
+    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    for (id, obj) in generate_mixed_images(n, 11) {
+        engine.insert(id, obj).unwrap();
+    }
+    engine
+}
+
+fn query_options() -> QueryOptions {
+    QueryOptions {
+        k: 10,
+        filter: FilterParams {
+            query_segments: 2,
+            candidates_per_segment: 40,
+            ..FilterParams::default()
+        },
+        ..QueryOptions::default()
+    }
+}
+
+fn bench_query_overhead(c: &mut Criterion) {
+    let mut engine = engine_with(DATASET);
+    let opts = query_options();
+    let mut group = c.benchmark_group("telemetry_query_overhead");
+    group.sample_size(10);
+    for enabled in [false, true] {
+        engine.set_telemetry(enabled.then(|| Arc::new(MetricsRegistry::new())));
+        let label = if enabled { "on" } else { "off" };
+        group.bench_function(BenchmarkId::new("filter_query", label), |b| {
+            b.iter(|| black_box(engine.query_by_id(black_box(ObjectId(0)), &opts).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_registry_primitives(c: &mut Criterion) {
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("bench_total", "bench", &[("mode", "filtering")]);
+    let histogram = registry.histogram(
+        "bench_seconds",
+        "bench",
+        &[("mode", "filtering")],
+        &LATENCY_BUCKETS_NS,
+        Unit::Nanoseconds,
+    );
+    let mut group = c.benchmark_group("telemetry_primitives");
+    group.bench_function("counter_inc_cached_handle", |b| {
+        b.iter(|| counter.inc());
+    });
+    group.bench_function("histogram_observe_cached_handle", |b| {
+        b.iter(|| histogram.observe(black_box(1_234_567)));
+    });
+    group.bench_function("counter_inc_by_name", |b| {
+        b.iter(|| {
+            registry.inc_counter("bench_total", "bench", &[("mode", "filtering")], 1);
+        });
+    });
+    group.finish();
+}
+
+fn time_mean_ns<R>(reps: usize, mut routine: impl FnMut() -> R) -> f64 {
+    black_box(routine());
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(routine());
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn write_json() -> std::io::Result<()> {
+    let mut engine = engine_with(DATASET);
+    let opts = query_options();
+    const REPS: usize = 30;
+
+    engine.set_telemetry(None);
+    let baseline_results = engine.query_by_id(ObjectId(0), &opts).unwrap().results;
+    let off_ns = time_mean_ns(REPS, || engine.query_by_id(ObjectId(0), &opts).unwrap());
+
+    engine.set_telemetry(Some(Arc::new(MetricsRegistry::new())));
+    let on_results = engine.query_by_id(ObjectId(0), &opts).unwrap().results;
+    let on_ns = time_mean_ns(REPS, || engine.query_by_id(ObjectId(0), &opts).unwrap());
+
+    let identical = on_results == baseline_results;
+    let overhead = (on_ns - off_ns) / off_ns;
+
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("t_total", "t", &[]);
+    let counter_ns = time_mean_ns(1_000_000, || counter.inc());
+    let histogram = registry.histogram(
+        "t_seconds",
+        "t",
+        &[],
+        &LATENCY_BUCKETS_NS,
+        Unit::Nanoseconds,
+    );
+    let histogram_ns = time_mean_ns(1_000_000, || {
+        histogram.observe_duration(Duration::from_micros(137))
+    });
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = format!(
+        "{{\n  \"bench\": \"telemetry\",\n  \"host_cores\": {cores},\n  \"dataset_objects\": {DATASET},\n  \"query\": \"filtering, k=10, 2 query segments, 40 candidates/segment\",\n  \"query_mean_ns_telemetry_off\": {off_ns:.0},\n  \"query_mean_ns_telemetry_on\": {on_ns:.0},\n  \"relative_overhead\": {overhead:.4},\n  \"results_identical\": {identical},\n  \"counter_inc_ns\": {counter_ns:.1},\n  \"histogram_observe_ns\": {histogram_ns:.1}\n}}\n"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_telemetry.json");
+    std::fs::write(&path, out)?;
+    println!("wrote {}", path.display());
+    assert!(identical, "telemetry changed query results");
+    Ok(())
+}
+
+criterion_group!(benches, bench_query_overhead, bench_registry_primitives);
+
+fn main() {
+    benches();
+    if let Err(e) = write_json() {
+        eprintln!("could not write BENCH_telemetry.json: {e}");
+    }
+}

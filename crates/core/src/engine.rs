@@ -13,11 +13,14 @@ use std::time::{Duration, Instant};
 use crate::distance::emd::{emd_with_costs, greedy_emd_with_costs, Emd, GreedyEmd, ThresholdedEmd};
 use crate::distance::{ObjectDistance, SegmentDistance};
 use crate::error::{CoreError, Result};
-use crate::filter::{filter_candidates_sharded, FilterParams};
+use crate::filter::{filter_candidates_sharded_traced, FilterParams};
 use crate::object::{DataObject, ObjectId};
 use crate::parallel::{try_map_chunked, Parallelism, DEFAULT_CHUNK};
 use crate::rank::{rank_candidates_parallel, rank_scores, SearchResult};
 use crate::sketch::{SketchBuilder, SketchParams, SketchedObject};
+use crate::telemetry::{
+    MetricsRegistry, QueryTrace, ShardTrace, StageClock, StageTrace, SIZE_BUCKETS,
+};
 
 /// How a query traverses the dataset (paper §6.3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -199,6 +202,11 @@ pub struct QueryResponse {
     pub results: Vec<SearchResult>,
     /// Query execution statistics.
     pub stats: QueryStats,
+    /// Per-stage trace, present when engine telemetry is enabled.
+    /// Instrumentation never affects `results`: telemetry-on and
+    /// telemetry-off runs are byte-identical in everything but this
+    /// field.
+    pub trace: Option<QueryTrace>,
 }
 
 /// Size of the engine's metadata, for storage-ratio reporting (Table 1).
@@ -232,6 +240,9 @@ pub struct SearchEngine {
     ranking: RankingMethod,
     store_originals: bool,
     parallelism: Parallelism,
+    /// When set, queries are timed per stage, metrics are recorded into
+    /// the registry, and responses carry a [`QueryTrace`].
+    telemetry: Option<Arc<MetricsRegistry>>,
     /// Insertion order, for deterministic scans.
     order: Vec<ObjectId>,
     objects: HashMap<ObjectId, DataObject>,
@@ -250,6 +261,7 @@ impl SearchEngine {
             ranking: config.ranking,
             store_originals: config.store_originals,
             parallelism: config.parallelism,
+            telemetry: None,
             order: Vec::new(),
             objects: HashMap::new(),
             sketches: HashMap::new(),
@@ -270,6 +282,19 @@ impl SearchEngine {
     /// results are bit-identical across settings.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.parallelism = parallelism;
+    }
+
+    /// Enables (or disables, with `None`) telemetry collection. When
+    /// enabled, every query records per-stage latency histograms and
+    /// scan counters into `registry` and returns a [`QueryTrace`] on its
+    /// response. Collection never changes query results.
+    pub fn set_telemetry(&mut self, registry: Option<Arc<MetricsRegistry>>) {
+        self.telemetry = registry;
+    }
+
+    /// The metrics registry queries record into, if telemetry is on.
+    pub fn telemetry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.telemetry.as_ref()
     }
 
     /// Number of objects stored.
@@ -478,15 +503,100 @@ impl SearchEngine {
             distance_evals: 0,
             elapsed: Duration::ZERO,
         };
+        let mut trace = self.telemetry.is_some().then(QueryTrace::default);
         let results = match options.mode {
             QueryMode::BruteForceOriginal => {
-                self.query_brute_original(query, options, &mut stats)?
+                self.query_brute_original(query, options, &mut stats, &mut trace)?
             }
-            QueryMode::BruteForceSketch => self.query_brute_sketch(query, options, &mut stats)?,
-            QueryMode::Filtering => self.query_filtering(query, options, &mut stats)?,
+            QueryMode::BruteForceSketch => {
+                self.query_brute_sketch(query, options, &mut stats, &mut trace)?
+            }
+            QueryMode::Filtering => self.query_filtering(query, options, &mut stats, &mut trace)?,
         };
         stats.elapsed = start.elapsed();
-        Ok(QueryResponse { results, stats })
+        self.finish_trace(&mut trace, &stats, results.len());
+        Ok(QueryResponse {
+            results,
+            stats,
+            trace,
+        })
+    }
+
+    /// Fills the cross-stage fields of a trace and records the query's
+    /// metrics into the registry.
+    fn finish_trace(&self, trace: &mut Option<QueryTrace>, stats: &QueryStats, results: usize) {
+        let Some(t) = trace.as_mut() else {
+            return;
+        };
+        t.mode = stats.mode.to_string();
+        t.total = stats.elapsed;
+        t.objects_scanned = stats.objects_scanned;
+        t.segments_scanned = stats.segments_scanned;
+        t.distance_evals = stats.distance_evals;
+        t.results = results;
+        if let Some(registry) = &self.telemetry {
+            Self::record_query_metrics(registry, t);
+        }
+    }
+
+    /// Records one traced query into the metrics registry: per-mode
+    /// query counts and latency, per-stage latency histograms, and scan
+    /// volume counters.
+    fn record_query_metrics(registry: &MetricsRegistry, trace: &QueryTrace) {
+        let mode = trace.mode.as_str();
+        registry.inc_counter(
+            "ferret_queries_total",
+            "Similarity queries answered, by traversal mode.",
+            &[("mode", mode)],
+            1,
+        );
+        registry.observe_latency(
+            "ferret_query_seconds",
+            "End-to-end query latency.",
+            &[("mode", mode)],
+            trace.total,
+        );
+        for (stage, timing) in [
+            ("sketch", &trace.sketch),
+            ("filter", &trace.filter),
+            ("rank", &trace.rank),
+        ] {
+            if let Some(st) = timing {
+                registry.observe_latency(
+                    "ferret_query_stage_seconds",
+                    "Per-stage query latency (sketch, filter scan, EMD rank).",
+                    &[("stage", stage), ("mode", mode)],
+                    st.duration,
+                );
+            }
+        }
+        registry.inc_counter(
+            "ferret_query_objects_scanned_total",
+            "Objects visited while scanning.",
+            &[("mode", mode)],
+            trace.objects_scanned as u64,
+        );
+        registry.inc_counter(
+            "ferret_query_segments_scanned_total",
+            "Segment sketches compared during filtering.",
+            &[("mode", mode)],
+            trace.segments_scanned as u64,
+        );
+        registry.inc_counter(
+            "ferret_query_distance_evals_total",
+            "Object-distance evaluations in the ranking stage.",
+            &[("mode", mode)],
+            trace.distance_evals as u64,
+        );
+        registry
+            .histogram(
+                "ferret_query_candidates",
+                "Candidate-set size entering the ranking stage.",
+                &[("mode", mode)],
+                &SIZE_BUCKETS,
+                crate::telemetry::Unit::Raw,
+            )
+            .observe(trace.candidates as u64);
     }
 
     /// Answers a query using a stored object as the seed
@@ -524,9 +634,15 @@ impl SearchEngine {
                     distance_evals: 0,
                     elapsed: Duration::ZERO,
                 };
-                let results = self.rank_all_by_sketch(&seed, options, &mut stats)?;
+                let mut trace = self.telemetry.is_some().then(QueryTrace::default);
+                let results = self.rank_all_by_sketch(&seed, options, &mut stats, &mut trace)?;
                 stats.elapsed = start.elapsed();
-                Ok(QueryResponse { results, stats })
+                self.finish_trace(&mut trace, &stats, results.len());
+                Ok(QueryResponse {
+                    results,
+                    stats,
+                    trace,
+                })
             }
             _ => {
                 let seed = self
@@ -563,6 +679,7 @@ impl SearchEngine {
         query: &DataObject,
         options: &QueryOptions,
         stats: &mut QueryStats,
+        trace: &mut Option<QueryTrace>,
     ) -> Result<Vec<SearchResult>> {
         if !self.store_originals {
             return Err(CoreError::InvalidQuery(
@@ -583,7 +700,16 @@ impl SearchEngine {
         stats.objects_scanned = collected.len();
         stats.distance_evals = collected.len();
         let threads = self.parallelism.threads_for(collected.len());
-        rank_candidates_parallel(query, &collected, dist.as_ref(), options.k, threads)
+        let clock = StageClock::start(trace.is_some());
+        let ranked = rank_candidates_parallel(query, &collected, dist.as_ref(), options.k, threads);
+        if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
+            t.candidates = collected.len();
+            t.rank = Some(StageTrace {
+                duration: elapsed,
+                threads,
+            });
+        }
+        ranked
     }
 
     /// Object distance between two sketched objects: EMD over scaled
@@ -622,6 +748,7 @@ impl SearchEngine {
         query: &SketchedObject,
         options: &QueryOptions,
         stats: &mut QueryStats,
+        trace: &mut Option<QueryTrace>,
     ) -> Result<Vec<SearchResult>> {
         // Sketch lengths must match the engine's.
         for s in &query.sketches {
@@ -645,10 +772,18 @@ impl SearchEngine {
         stats.objects_scanned = cands.len();
         stats.distance_evals = cands.len();
         let threads = self.parallelism.threads_for(cands.len());
+        let clock = StageClock::start(trace.is_some());
         let scored = try_map_chunked(threads, DEFAULT_CHUNK, &cands, |_, &(id, so)| {
             let d = self.sketched_object_distance(query, so)?;
             Ok(SearchResult { id, distance: d })
         })?;
+        if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
+            t.candidates = cands.len();
+            t.rank = Some(StageTrace {
+                duration: elapsed,
+                threads,
+            });
+        }
         Ok(rank_scores(scored, options.k))
     }
 
@@ -657,9 +792,17 @@ impl SearchEngine {
         query: &DataObject,
         options: &QueryOptions,
         stats: &mut QueryStats,
+        trace: &mut Option<QueryTrace>,
     ) -> Result<Vec<SearchResult>> {
+        let clock = StageClock::start(trace.is_some());
         let qs = self.builder.sketch_object(query)?;
-        self.rank_all_by_sketch(&qs, options, stats)
+        if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
+            t.sketch = Some(StageTrace {
+                duration: elapsed,
+                threads: 1,
+            });
+        }
+        self.rank_all_by_sketch(&qs, options, stats, trace)
     }
 
     fn query_filtering(
@@ -667,8 +810,16 @@ impl SearchEngine {
         query: &DataObject,
         options: &QueryOptions,
         stats: &mut QueryStats,
+        trace: &mut Option<QueryTrace>,
     ) -> Result<Vec<SearchResult>> {
+        let clock = StageClock::start(trace.is_some());
         let qs = self.builder.sketch_object(query)?;
+        if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
+            t.sketch = Some(StageTrace {
+                duration: elapsed,
+                threads: 1,
+            });
+        }
         let dataset: Vec<(ObjectId, &SketchedObject)> = self
             .order
             .iter()
@@ -680,8 +831,23 @@ impl SearchEngine {
             })
             .collect();
         let scan_threads = self.parallelism.threads_for(dataset.len());
-        let (candidates, fstats) =
-            filter_candidates_sharded(&qs, &dataset, &options.filter, scan_threads)?;
+        let clock = StageClock::start(trace.is_some());
+        let (candidates, fstats, shard_stats) =
+            filter_candidates_sharded_traced(&qs, &dataset, &options.filter, scan_threads)?;
+        if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
+            t.filter = Some(StageTrace {
+                duration: elapsed,
+                threads: scan_threads,
+            });
+            t.shards = shard_stats
+                .iter()
+                .map(|s| ShardTrace {
+                    objects_scanned: s.objects_scanned,
+                    segments_scanned: s.segments_scanned,
+                })
+                .collect();
+            t.candidates = candidates.len();
+        }
         stats.objects_scanned = fstats.objects_scanned;
         stats.segments_scanned = fstats.segments_scanned;
         stats.distance_evals = candidates.len();
@@ -690,7 +856,8 @@ impl SearchEngine {
         let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
         cand_ids.sort();
         let rank_threads = self.parallelism.threads_for(cand_ids.len());
-        if self.store_originals {
+        let clock = StageClock::start(trace.is_some());
+        let ranked = if self.store_originals {
             let dist = self.object_distance_original()?;
             let cands: Vec<(ObjectId, &DataObject)> = cand_ids
                 .iter()
@@ -708,7 +875,14 @@ impl SearchEngine {
                 Ok(SearchResult { id, distance: d })
             })?;
             Ok(rank_scores(scored, options.k))
+        };
+        if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
+            t.rank = Some(StageTrace {
+                duration: elapsed,
+                threads: rank_threads,
+            });
         }
+        ranked
     }
 }
 

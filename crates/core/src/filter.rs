@@ -272,8 +272,23 @@ pub fn filter_candidates_sharded(
     params: &FilterParams,
     threads: usize,
 ) -> Result<(HashSet<ObjectId>, FilterStats)> {
+    let (candidates, stats, _) = filter_candidates_sharded_traced(query, dataset, params, threads)?;
+    Ok((candidates, stats))
+}
+
+/// [`filter_candidates_sharded`] plus the per-shard scan statistics that
+/// went into the merge, for query tracing. The shard list is empty when
+/// the scan ran unsharded (one thread or a tiny dataset).
+pub fn filter_candidates_sharded_traced(
+    query: &SketchedObject,
+    dataset: &[(ObjectId, &SketchedObject)],
+    params: &FilterParams,
+    threads: usize,
+) -> Result<(HashSet<ObjectId>, FilterStats, Vec<FilterStats>)> {
     if threads <= 1 || dataset.len() < 2 {
-        return filter_candidates(query, dataset.iter().map(|&(id, so)| (id, so)), params);
+        let (candidates, stats) =
+            filter_candidates(query, dataset.iter().map(|&(id, so)| (id, so)), params)?;
+        return Ok((candidates, stats, Vec::new()));
     }
     let shard_scans = crate::parallel::map_shards(threads, dataset.len(), |_, range| {
         let mut scan = FilterScan::new(query, params)?;
@@ -283,15 +298,18 @@ pub fn filter_candidates_sharded(
         Ok(scan)
     });
     let mut merged: Option<FilterScan> = None;
+    let mut shard_stats = Vec::with_capacity(shard_scans.len());
     for scan in shard_scans {
         let scan = scan?;
+        shard_stats.push(scan.stats);
         match &mut merged {
             None => merged = Some(scan),
             Some(m) => m.merge(scan),
         }
     }
     let scan = merged.expect("non-empty dataset implies at least one shard");
-    Ok(scan.finish())
+    let (candidates, stats) = scan.finish();
+    Ok((candidates, stats, shard_stats))
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod parallel;
 pub mod plugin;
 pub mod rank;
 pub mod sketch;
+pub mod telemetry;
 pub mod vector;
 
 /// Commonly used types, for glob import.
@@ -66,5 +67,8 @@ pub mod prelude {
     pub use crate::plugin::{Extractor, FileExtractor};
     pub use crate::rank::SearchResult;
     pub use crate::sketch::{BitVec, SketchBuilder, SketchParams, SketchedObject};
+    pub use crate::telemetry::{
+        Counter, Gauge, Histogram, MetricsRegistry, QueryTrace, ShardTrace, StageTrace,
+    };
     pub use crate::vector::FeatureVector;
 }

@@ -83,6 +83,51 @@ pub struct QueryOutcome {
     pub distance_evals: usize,
 }
 
+/// Mean per-stage durations aggregated from query traces (present only
+/// when the engine runs with telemetry enabled; see
+/// [`SearchEngine::set_telemetry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Queries that contributed a trace.
+    pub traced: usize,
+    /// Mean time sketching the query object.
+    pub sketch: Duration,
+    /// Mean time scanning sketches for candidates.
+    pub filter: Duration,
+    /// Mean time ranking candidates with the object distance.
+    pub rank: Duration,
+}
+
+impl StageBreakdown {
+    /// Folds one query trace into the running totals (call [`Self::finish`]
+    /// afterwards to convert totals into means).
+    fn accumulate(&mut self, trace: &ferret_core::telemetry::QueryTrace) {
+        self.traced += 1;
+        if let Some(s) = &trace.sketch {
+            self.sketch += s.duration;
+        }
+        if let Some(s) = &trace.filter {
+            self.filter += s.duration;
+        }
+        if let Some(s) = &trace.rank {
+            self.rank += s.duration;
+        }
+    }
+
+    /// Converts accumulated totals into means; `None` if nothing was traced.
+    fn finish(self) -> Option<Self> {
+        (self.traced > 0).then(|| {
+            let n = self.traced as u32;
+            Self {
+                traced: self.traced,
+                sketch: self.sketch / n,
+                filter: self.filter / n,
+                rank: self.rank / n,
+            }
+        })
+    }
+}
+
 /// The aggregate result of running a benchmark suite.
 #[derive(Debug, Clone)]
 pub struct SuiteResult {
@@ -94,6 +139,8 @@ pub struct SuiteResult {
     pub avg_distance_evals: f64,
     /// Per-query details.
     pub outcomes: Vec<QueryOutcome>,
+    /// Mean per-stage latency, when the engine produced query traces.
+    pub stages: Option<StageBreakdown>,
 }
 
 /// Runs every similarity set of `suite` against `engine`.
@@ -110,11 +157,15 @@ pub fn run_suite(
     let mut durations = Vec::with_capacity(suite.len());
     let mut outcomes = Vec::with_capacity(suite.len());
     let mut total_evals = 0usize;
+    let mut stages = StageBreakdown::default();
     for set in &suite.sets {
         let query = set.members[0];
         let mut opts = options.clone();
         opts.k = opts.k.max(2 * (set.members.len() - 1) + 1);
         let resp = engine.query_by_id(query, &opts)?;
+        if let Some(trace) = &resp.trace {
+            stages.accumulate(trace);
+        }
         let ranked: Vec<ObjectId> = resp.results.iter().map(|r| r.id).collect();
         let Some(scores) = score_query(query, &set.members, &ranked, engine.len()) else {
             continue;
@@ -141,6 +192,7 @@ pub fn run_suite(
         timing: TimingStats::from_durations(durations).with_threads(engine.parallelism().resolve()),
         avg_distance_evals: total_evals as f64 / count as f64,
         outcomes,
+        stages: stages.finish(),
     })
 }
 
@@ -246,6 +298,21 @@ mod tests {
         engine.set_parallelism(ferret_core::parallel::Parallelism::Threads(3));
         let stats = time_queries(&engine, &[ObjectId(0)], &QueryOptions::brute_force(2)).unwrap();
         assert_eq!(stats.threads, 3);
+    }
+
+    #[test]
+    fn stage_breakdown_present_only_with_telemetry() {
+        let (mut engine, suite) = engine_with_clusters();
+        let result = run_suite(&engine, &suite, &QueryOptions::default()).unwrap();
+        assert!(result.stages.is_none());
+
+        let registry = std::sync::Arc::new(ferret_core::telemetry::MetricsRegistry::new());
+        engine.set_telemetry(Some(registry));
+        let result = run_suite(&engine, &suite, &QueryOptions::default()).unwrap();
+        let stages = result.stages.expect("traces collected");
+        assert_eq!(stages.traced, 2);
+        assert!(stages.sketch > Duration::ZERO);
+        assert!(stages.filter > Duration::ZERO);
     }
 
     #[test]

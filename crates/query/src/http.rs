@@ -9,12 +9,15 @@
 //! * `GET /search?id=42&k=10&mode=filter&attr=<urlencoded>` → JSON results
 //! * `GET /attr?q=<urlencoded expression>` → JSON id list
 //! * `GET /stat` → JSON statistics
+//! * `GET /metrics` → Prometheus text exposition (telemetry must be on)
+//! * `GET /trace?id=<n>` → stage breakdown of a recent query as JSON
 //! * `GET /` → a small HTML query form
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
@@ -111,7 +114,7 @@ pub fn response_to_json(resp: &Response) -> String {
     }
 }
 
-const INDEX_HTML: &str = "<!DOCTYPE html>\n<html><head><title>Ferret similarity search</title></head>\n<body>\n<h1>Ferret similarity search</h1>\n<form action=\"/search\" method=\"get\">\n  seed object id: <input name=\"id\" value=\"0\">\n  results: <input name=\"k\" value=\"10\">\n  mode: <select name=\"mode\"><option>filter</option><option>sketch</option><option>brute</option></select>\n  attributes: <input name=\"attr\" value=\"\">\n  <button type=\"submit\">search</button>\n</form>\n<p>Endpoints: /search?id=&amp;k=&amp;mode=&amp;attr= &middot; /attr?q= &middot; /stat</p>\n</body></html>\n";
+const INDEX_HTML: &str = "<!DOCTYPE html>\n<html><head><title>Ferret similarity search</title></head>\n<body>\n<h1>Ferret similarity search</h1>\n<form action=\"/search\" method=\"get\">\n  seed object id: <input name=\"id\" value=\"0\">\n  results: <input name=\"k\" value=\"10\">\n  mode: <select name=\"mode\"><option>filter</option><option>sketch</option><option>brute</option></select>\n  attributes: <input name=\"attr\" value=\"\">\n  <button type=\"submit\">search</button>\n</form>\n<p>Endpoints: /search?id=&amp;k=&amp;mode=&amp;attr= &middot; /attr?q= &middot; /stat &middot; /metrics &middot; /trace?id=</p>\n</body></html>\n";
 
 fn http_reply(status: &str, content_type: &str, body: &str) -> String {
     format!(
@@ -142,6 +145,43 @@ pub fn route(
             "text/html; charset=utf-8".into(),
             INDEX_HTML.into(),
         ),
+        "/metrics" => {
+            let registry = service.read().telemetry().cloned();
+            match registry {
+                Some(reg) => (
+                    "200 OK".into(),
+                    "text/plain; version=0.0.4; charset=utf-8".into(),
+                    reg.render_prometheus(),
+                ),
+                None => (
+                    "404 Not Found".into(),
+                    "application/json".into(),
+                    "{\"ok\":false,\"error\":\"telemetry disabled\"}".into(),
+                ),
+            }
+        }
+        "/trace" => {
+            let svc = service.read();
+            let found = match get("id") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(id) => svc.trace(id).map(|t| (id, t.clone())),
+                    Err(_) => return error_json("invalid id parameter"),
+                },
+                None => svc.last_trace().map(|(id, t)| (id, t.clone())),
+            };
+            match found {
+                Some((id, trace)) => (
+                    "200 OK".into(),
+                    "application/json".into(),
+                    format!("{{\"ok\":true,\"id\":{id},\"trace\":{}}}", trace.to_json()),
+                ),
+                None => (
+                    "404 Not Found".into(),
+                    "application/json".into(),
+                    "{\"ok\":false,\"error\":\"no trace recorded\"}".into(),
+                ),
+            }
+        }
         "/stat" => {
             let mut svc = service.write();
             match svc.execute(&crate::protocol::Command::Stat) {
@@ -273,6 +313,21 @@ impl Drop for HttpServer {
     }
 }
 
+/// Bounded label for per-endpoint metrics: known paths keep their name,
+/// everything else collapses to `other` so clients cannot explode the
+/// label cardinality by probing random paths.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/" => "/",
+        "/search" => "/search",
+        "/attr" => "/attr",
+        "/stat" => "/stat",
+        "/metrics" => "/metrics",
+        "/trace" => "/trace",
+        _ => "other",
+    }
+}
+
 fn serve_one(stream: TcpStream, service: &Arc<RwLock<FerretService>>) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -280,7 +335,8 @@ fn serve_one(stream: TcpStream, service: &Arc<RwLock<FerretService>>) -> std::io
     reader.read_line(&mut request_line)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("/");
+    let target = parts.next();
+    let version = parts.next();
     // Drain headers.
     let mut line = String::new();
     loop {
@@ -289,14 +345,45 @@ fn serve_one(stream: TcpStream, service: &Arc<RwLock<FerretService>>) -> std::io
             break;
         }
     }
-    let reply = if method != "GET" {
+    // A malformed request line (missing target, missing or non-HTTP
+    // version, or a target that is not an absolute path) gets a proper
+    // 400 reply instead of a dropped connection.
+    let well_formed = target.is_some_and(|t| t.starts_with('/'))
+        && version.is_some_and(|v| v.starts_with("HTTP/"));
+    let reply = if !well_formed {
+        http_reply(
+            "400 Bad Request",
+            "application/json",
+            "{\"ok\":false,\"error\":\"malformed request line\"}",
+        )
+    } else if method != "GET" {
         http_reply(
             "405 Method Not Allowed",
             "application/json",
             "{\"ok\":false,\"error\":\"GET only\"}",
         )
     } else {
+        let target = target.expect("well-formed request has a target");
+        let registry = service.read().telemetry().cloned();
+        let start = registry.is_some().then(Instant::now);
         let (status, ctype, body) = route(service, target);
+        if let (Some(reg), Some(start)) = (registry, start) {
+            let path = target.split_once('?').map_or(target, |(p, _)| p);
+            let endpoint = endpoint_label(path);
+            let code = status.split_whitespace().next().unwrap_or("0");
+            reg.inc_counter(
+                "ferret_http_requests_total",
+                "HTTP requests served, by endpoint and status code.",
+                &[("endpoint", endpoint), ("status", code)],
+                1,
+            );
+            reg.observe_latency(
+                "ferret_http_request_seconds",
+                "HTTP request latency, by endpoint.",
+                &[("endpoint", endpoint)],
+                start.elapsed(),
+            );
+        }
         http_reply(&status, &ctype, &body)
     };
     writer.write_all(reply.as_bytes())?;
@@ -353,6 +440,15 @@ mod tests {
         assert_eq!(url_decode("plain"), "plain");
         assert_eq!(url_decode("%zz"), "%zz");
         assert_eq!(url_decode("trailing%"), "trailing%");
+        // Truncated escape: only one hex digit follows the '%'.
+        assert_eq!(url_decode("%4"), "%4");
+        assert_eq!(url_decode("a%4"), "a%4");
+        // '+' is a space even when adjacent to escapes.
+        assert_eq!(url_decode("+%41+"), " A ");
+        // An embedded NUL byte decodes without truncating the string.
+        assert_eq!(url_decode("a%00b"), "a\0b");
+        // Invalid UTF-8 from decoded bytes is replaced, not panicked on.
+        assert_eq!(url_decode("%ff"), "\u{fffd}");
         assert_eq!(
             parse_query_string("id=1&attr=a%20b&flag"),
             vec![
@@ -400,5 +496,99 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn metrics_and_trace_routes() {
+        let svc = service();
+        // Telemetry off: /metrics and /trace report their absence.
+        let (status, _, body) = route(&svc, "/metrics");
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("telemetry disabled"), "{body}");
+
+        let registry = Arc::new(ferret_core::telemetry::MetricsRegistry::new());
+        svc.write().enable_telemetry(Arc::clone(&registry));
+        let (status, _, body) = route(&svc, "/trace");
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("no trace recorded"), "{body}");
+        let (status, _, body) = route(&svc, "/trace?id=borked");
+        assert_eq!(status, "400 Bad Request");
+        assert!(body.contains("invalid id"), "{body}");
+
+        // A query populates both the registry and the trace ring.
+        let (status, _, _) = route(&svc, "/search?id=0&k=2&mode=filter");
+        assert_eq!(status, "200 OK");
+        let (status, ctype, body) = route(&svc, "/metrics");
+        assert_eq!(status, "200 OK");
+        assert!(ctype.starts_with("text/plain"), "{ctype}");
+        assert!(
+            body.contains("ferret_queries_total{mode=\"filtering\"} 1"),
+            "{body}"
+        );
+        assert!(body.contains("ferret_query_seconds_count"), "{body}");
+        let (status, _, body) = route(&svc, "/trace");
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"mode\":\"filtering\""), "{body}");
+        let (status, _, body) = route(&svc, "/trace?id=999");
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("no trace"), "{body}");
+    }
+
+    /// Sends raw bytes as an HTTP request and returns the status line.
+    fn raw_request(addr: SocketAddr, payload: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response.lines().next().unwrap_or("").to_string()
+    }
+
+    #[test]
+    fn malformed_request_lines_get_400_not_dropped() {
+        let server = HttpServer::start(service(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // No target or version at all.
+        assert!(raw_request(addr, "GET\r\n\r\n").contains("400"));
+        // Target does not start with '/'.
+        assert!(raw_request(addr, "GET nope HTTP/1.1\r\n\r\n").contains("400"));
+        // Version token is not HTTP/x.
+        assert!(raw_request(addr, "GET / FTP/1.0\r\n\r\n").contains("400"));
+        // Garbage line.
+        assert!(raw_request(addr, "??\r\n\r\n").contains("400"));
+        // Non-GET methods still get 405, unknown endpoints 404.
+        assert!(raw_request(addr, "POST /stat HTTP/1.1\r\n\r\n").contains("405"));
+        assert!(raw_request(addr, "GET /nope HTTP/1.1\r\n\r\n").contains("404"));
+        server.stop();
+    }
+
+    #[test]
+    fn http_requests_recorded_in_registry() {
+        let svc = service();
+        let registry = Arc::new(ferret_core::telemetry::MetricsRegistry::new());
+        svc.write().enable_telemetry(Arc::clone(&registry));
+        let server = HttpServer::start(svc, "127.0.0.1:0").unwrap();
+        let (status, _) = http_get(server.addr(), "/stat").unwrap();
+        assert!(status.contains("200"));
+        let (status, _) = http_get(server.addr(), "/definitely-not-real").unwrap();
+        assert!(status.contains("404"));
+        server.stop();
+        assert_eq!(
+            registry.counter_value(
+                "ferret_http_requests_total",
+                &[("endpoint", "/stat"), ("status", "200")],
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "ferret_http_requests_total",
+                &[("endpoint", "other"), ("status", "404")],
+            ),
+            Some(1)
+        );
+        let snap = registry
+            .histogram_snapshot("ferret_http_request_seconds", &[("endpoint", "/stat")])
+            .unwrap();
+        assert_eq!(snap.count, 1);
     }
 }

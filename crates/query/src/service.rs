@@ -8,7 +8,8 @@
 //! rebuilt deterministically on open, and attribute queries can restrict
 //! similarity searches (§4.1.2).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use ferret_attr::{AttrStore, Attributes};
 use ferret_core::codec::{decode_object, encode_object};
@@ -16,6 +17,7 @@ use ferret_core::engine::{EngineConfig, QueryOptions, QueryResponse, SearchEngin
 use ferret_core::error::CoreError;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::parallel::Parallelism;
+use ferret_core::telemetry::{MetricsRegistry, QueryTrace, Unit, SIZE_BUCKETS};
 use ferret_store::{Database, DbOptions, StoreError};
 
 use crate::protocol::{Command, ProtocolError, HELP_TEXT};
@@ -126,11 +128,19 @@ impl Response {
     }
 }
 
+/// How many recent query traces the service retains for `/trace`.
+const TRACE_RING_CAPACITY: usize = 16;
+
 /// The composed search service.
 pub struct FerretService {
     engine: SearchEngine,
     attrs: AttrStore,
     db: Option<Database>,
+    telemetry: Option<Arc<MetricsRegistry>>,
+    /// Recent query traces, newest last, keyed by a monotonically
+    /// increasing trace id.
+    traces: VecDeque<(u64, QueryTrace)>,
+    next_trace_id: u64,
 }
 
 impl FerretService {
@@ -140,6 +150,9 @@ impl FerretService {
             engine: SearchEngine::new(config),
             attrs: AttrStore::new(),
             db: None,
+            telemetry: None,
+            traces: VecDeque::new(),
+            next_trace_id: 0,
         }
     }
 
@@ -171,7 +184,66 @@ impl FerretService {
             engine,
             attrs,
             db: Some(db),
+            telemetry: None,
+            traces: VecDeque::new(),
+            next_trace_id: 0,
         })
+    }
+
+    /// Enables telemetry: the engine records per-stage metrics and
+    /// traces into `registry`, the service records per-command and
+    /// storage metrics, and recent query traces are retained for the
+    /// web interface's `/trace` endpoint.
+    pub fn enable_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        self.engine.set_telemetry(Some(Arc::clone(&registry)));
+        self.telemetry = Some(registry);
+    }
+
+    /// Disables telemetry collection (existing metrics are dropped with
+    /// the registry when the last handle goes away).
+    pub fn disable_telemetry(&mut self) {
+        self.engine.set_telemetry(None);
+        self.telemetry = None;
+    }
+
+    /// The service's metrics registry, if telemetry is enabled.
+    pub fn telemetry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// The most recent retained query trace, with its id.
+    pub fn last_trace(&self) -> Option<(u64, &QueryTrace)> {
+        self.traces.back().map(|(id, t)| (*id, t))
+    }
+
+    /// A retained query trace by id (ids come from [`Self::last_trace`];
+    /// the ring keeps the 16 most recent).
+    pub fn trace(&self, id: u64) -> Option<&QueryTrace> {
+        self.traces
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map(|(_, t)| t)
+    }
+
+    fn record_trace(&mut self, trace: QueryTrace) -> u64 {
+        let id = self.next_trace_id;
+        self.next_trace_id += 1;
+        if self.traces.len() == TRACE_RING_CAPACITY {
+            self.traces.pop_front();
+        }
+        self.traces.push_back((id, trace));
+        id
+    }
+
+    fn record_store_error(&self, op: &str) {
+        if let Some(reg) = &self.telemetry {
+            reg.inc_counter(
+                "ferret_store_errors_total",
+                "Metadata store / WAL operation failures.",
+                &[("op", op)],
+                1,
+            );
+        }
     }
 
     /// The underlying engine (read access).
@@ -232,8 +304,25 @@ impl FerretService {
                 for (id, _, _) in &items {
                     self.engine.remove(*id);
                 }
+                self.record_store_error("insert_batch");
                 return Err(e.into());
             }
+        }
+        if let Some(reg) = &self.telemetry {
+            reg.inc_counter(
+                "ferret_inserts_total",
+                "Objects inserted.",
+                &[],
+                items.len() as u64,
+            );
+            reg.histogram(
+                "ferret_insert_batch_size",
+                "Objects per insert batch.",
+                &[],
+                &SIZE_BUCKETS,
+                Unit::Raw,
+            )
+            .observe(items.len() as u64);
         }
         for (id, _, attributes) in items {
             if let Some(attrs) = attributes {
@@ -265,8 +354,12 @@ impl FerretService {
             if let Err(e) = txn.commit() {
                 // Roll the engine back so memory matches storage.
                 self.engine.remove(id);
+                self.record_store_error("insert");
                 return Err(e.into());
             }
+        }
+        if let Some(reg) = &self.telemetry {
+            reg.inc_counter("ferret_inserts_total", "Objects inserted.", &[], 1);
         }
         if let Some(attrs) = attributes {
             // Persistence (when durable) happened in the object transaction
@@ -283,7 +376,10 @@ impl FerretService {
             let mut txn = db.begin();
             txn.delete(FEATURES_TABLE, &id.0.to_le_bytes());
             txn.delete(ferret_attr::ATTR_TABLE, &id.0.to_le_bytes());
-            txn.commit()?;
+            if let Err(e) = txn.commit() {
+                self.record_store_error("remove");
+                return Err(e.into());
+            }
         }
         self.attrs.index_mut().remove(id);
         Ok(present)
@@ -310,7 +406,10 @@ impl FerretService {
     /// Flushes buffered commits (persistent services only).
     pub fn flush(&mut self) -> Result<(), ServiceError> {
         if let Some(db) = self.db.as_mut() {
-            db.flush()?;
+            if let Err(e) = db.flush() {
+                self.record_store_error("flush");
+                return Err(e.into());
+            }
         }
         Ok(())
     }
@@ -318,7 +417,10 @@ impl FerretService {
     /// Checkpoints the metadata store (persistent services only).
     pub fn checkpoint(&mut self) -> Result<(), ServiceError> {
         if let Some(db) = self.db.as_mut() {
-            db.checkpoint()?;
+            if let Err(e) = db.checkpoint() {
+                self.record_store_error("checkpoint");
+                return Err(e.into());
+            }
         }
         Ok(())
     }
@@ -341,8 +443,31 @@ impl FerretService {
         Ok(self.engine.query_by_id(seed, &options)?)
     }
 
-    /// Executes one parsed protocol command.
+    /// Executes one parsed protocol command, recording per-command
+    /// metrics and retaining query traces when telemetry is enabled.
     pub fn execute(&mut self, command: &Command) -> Result<Response, ServiceError> {
+        let result = self.execute_inner(command);
+        if let Some(reg) = &self.telemetry {
+            let name = match command {
+                Command::Query { .. } => "query",
+                Command::Attr { .. } => "attr",
+                Command::Delete { .. } => "delete",
+                Command::Stat => "stat",
+                Command::Help => "help",
+                Command::Quit => "quit",
+            };
+            let outcome = if result.is_ok() { "ok" } else { "error" };
+            reg.inc_counter(
+                "ferret_commands_total",
+                "Protocol commands executed, by command and outcome.",
+                &[("command", name), ("outcome", outcome)],
+                1,
+            );
+        }
+        result
+    }
+
+    fn execute_inner(&mut self, command: &Command) -> Result<Response, ServiceError> {
         match command {
             Command::Query {
                 id,
@@ -360,6 +485,9 @@ impl FerretService {
                     ..QueryOptions::default()
                 };
                 let resp = self.query(*id, options, attr.as_deref())?;
+                if let Some(trace) = resp.trace {
+                    self.record_trace(trace);
+                }
                 Ok(Response::Results(
                     resp.results.iter().map(|r| (r.id, r.distance)).collect(),
                 ))

@@ -11,10 +11,43 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> integration: server, determinism, telemetry"
+cargo test -q --test server_and_acquisition --test parallel_determinism --test telemetry
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> smoke: serve + /metrics"
+SMOKE_DIR="$(mktemp -d)"
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+printf '0.1 0.2\n0.3 0.4\n' > "$SMOKE_DIR/a.fvec"
+printf '0.8 0.9\n' > "$SMOKE_DIR/b.fvec"
+target/release/ferret serve --db "$SMOKE_DIR/db" --watch "$SMOKE_DIR" --dim 2 \
+    --tcp 127.0.0.1:0 --http 127.0.0.1:0 > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+HTTP_ADDR=""
+for _ in $(seq 1 50); do
+    HTTP_ADDR="$(sed -n 's|^web interface on http://\([^/]*\)/$|\1|p' "$SMOKE_DIR/serve.log")"
+    [ -n "$HTTP_ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve exited early:"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$HTTP_ADDR" ] || { echo "serve never printed its http address"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+# Fetch without curl: bash's /dev/tcp.
+http_get() {
+    exec 3<>"/dev/tcp/${HTTP_ADDR%:*}/${HTTP_ADDR##*:}" \
+        && printf 'GET %s HTTP/1.1\r\nHost: x\r\n\r\n' "$1" >&3 && cat <&3
+}
+http_get /stat > /dev/null   # populate the per-endpoint request counters
+METRICS="$(http_get /metrics)"
+kill "$SERVE_PID" 2>/dev/null || true
+echo "$METRICS" | head -n 1 | grep -q " 200 " \
+    || { echo "/metrics did not return 200:"; echo "$METRICS" | head -n 5; exit 1; }
+echo "$METRICS" | grep -q "^ferret_http_requests_total" \
+    || { echo "/metrics exposition empty or missing expected series:"; echo "$METRICS" | head -n 20; exit 1; }
+echo "smoke OK: /metrics served $(echo "$METRICS" | grep -c '^ferret_') ferret series"
 
 echo "CI OK"

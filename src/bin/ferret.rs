@@ -24,6 +24,7 @@ use ferret::core::engine::EngineConfig;
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
 use ferret::core::sketch::SketchParams;
+use ferret::core::telemetry::MetricsRegistry;
 use ferret::datatypes::generic::FvecExtractor;
 use ferret::query::{Client, FerretService, HttpServer, Server, ServiceError};
 use ferret::store::DbOptions;
@@ -38,13 +39,14 @@ struct Options {
     http: String,
     scan_interval: u64,
     threads: Parallelism,
+    telemetry: bool,
     addr: Option<String>,
     rest: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -60,6 +62,7 @@ fn parse_options(args: &[String]) -> Options {
         http: "127.0.0.1:8080".to_string(),
         scan_interval: 5,
         threads: Parallelism::Auto,
+        telemetry: true,
         addr: None,
         rest: Vec::new(),
     };
@@ -102,6 +105,10 @@ fn parse_options(args: &[String]) -> Options {
             "--threads" => {
                 opts.threads = parse_threads(need(i)).unwrap_or_else(|| usage());
                 i += 2;
+            }
+            "--no-telemetry" => {
+                opts.telemetry = false;
+                i += 1;
             }
             "--addr" => {
                 opts.addr = Some(need(i).clone());
@@ -245,6 +252,9 @@ fn cmd_serve(opts: &Options) {
             service.engine().len()
         );
     }
+    if opts.telemetry {
+        service.enable_telemetry(Arc::new(MetricsRegistry::new()));
+    }
     let service = Arc::new(RwLock::new(service));
 
     let tcp = Server::start(Arc::clone(&service), &opts.tcp).expect("tcp server");
@@ -252,6 +262,9 @@ fn cmd_serve(opts: &Options) {
     println!("query parallelism: {}", opts.threads);
     println!("tcp protocol on {}", tcp.addr());
     println!("web interface on http://{}/", http.addr());
+    if opts.telemetry {
+        println!("metrics on http://{}/metrics", http.addr());
+    }
     println!(
         "watching {} every {}s; Ctrl-C to stop",
         watch.display(),

@@ -85,6 +85,63 @@ proptest! {
         }
     }
 
+    /// Telemetry is pure observation: enabling it must not perturb results,
+    /// distances, or scan statistics — for any query mode or thread count.
+    #[test]
+    fn telemetry_never_perturbs_results(
+        objects in prop::collection::vec(object_strategy(3), 4..14),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut engine = engine_with(&objects, seed);
+        let opts = [
+            QueryOptions {
+                mode: QueryMode::BruteForceOriginal,
+                k,
+                ..QueryOptions::default()
+            },
+            QueryOptions {
+                mode: QueryMode::BruteForceSketch,
+                k,
+                ..QueryOptions::default()
+            },
+            QueryOptions {
+                mode: QueryMode::Filtering,
+                k,
+                filter: FilterParams {
+                    query_segments: 2,
+                    candidates_per_segment: 3,
+                    ..FilterParams::default()
+                },
+                ..QueryOptions::default()
+            },
+        ];
+        // Baseline: telemetry off, serial.
+        let baselines: Vec<_> = opts
+            .iter()
+            .map(|o| engine.query_by_id(ObjectId(0), o).unwrap())
+            .collect();
+        for p in [Parallelism::Serial, Parallelism::Threads(2), Parallelism::Threads(7)] {
+            engine.set_parallelism(p);
+            let registry = std::sync::Arc::new(ferret::core::telemetry::MetricsRegistry::new());
+            engine.set_telemetry(Some(registry));
+            for (o, base) in opts.iter().zip(&baselines) {
+                let resp = engine.query_by_id(ObjectId(0), o).unwrap();
+                prop_assert!(resp.trace.is_some(), "telemetry on must attach a trace");
+                prop_assert_eq!(&resp.results, &base.results, "{} {:?}", p, o.mode);
+                prop_assert_eq!(resp.stats.objects_scanned, base.stats.objects_scanned);
+                prop_assert_eq!(resp.stats.segments_scanned, base.stats.segments_scanned);
+                prop_assert_eq!(resp.stats.distance_evals, base.stats.distance_evals);
+            }
+            engine.set_telemetry(None);
+            for (o, base) in opts.iter().zip(&baselines) {
+                let resp = engine.query_by_id(ObjectId(0), o).unwrap();
+                prop_assert!(resp.trace.is_none(), "telemetry off must not trace");
+                prop_assert_eq!(&resp.results, &base.results, "{} {:?}", p, o.mode);
+            }
+        }
+    }
+
     /// The sharded in-memory filter scan yields the exact candidate set
     /// and statistics of the serial scan.
     #[test]

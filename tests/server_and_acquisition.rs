@@ -95,6 +95,121 @@ fn web_interface_serves_json_and_html() {
     server.stop();
 }
 
+/// Parses a Prometheus text exposition into (series, value) pairs, checking
+/// basic well-formedness: every non-comment line is `name[{labels}] value`,
+/// and every series name is announced by `# HELP` and `# TYPE` lines.
+fn parse_exposition(body: &str) -> std::collections::HashMap<String, f64> {
+    let mut announced = std::collections::HashSet::new();
+    let mut series = std::collections::HashMap::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next().unwrap();
+            assert!(kind == "HELP" || kind == "TYPE", "bad comment: {line}");
+            announced.insert(parts.next().unwrap().to_string());
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (name_labels, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("series line has no value: {line}");
+        });
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("unparseable value in: {line}");
+        });
+        let base = name_labels.split('{').next().unwrap();
+        let base = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .unwrap_or(base);
+        assert!(
+            announced.contains(base),
+            "series {base} not announced by HELP/TYPE"
+        );
+        series.insert(name_labels.to_string(), value);
+    }
+    series
+}
+
+#[test]
+fn metrics_endpoint_end_to_end() {
+    let svc = shared_service(8);
+    let registry = Arc::new(ferret::core::telemetry::MetricsRegistry::new());
+    svc.write().enable_telemetry(Arc::clone(&registry));
+    let server = HttpServer::start(svc, "127.0.0.1:0").unwrap();
+
+    for id in [0, 3, 5] {
+        let (status, _) =
+            http::http_get(server.addr(), &format!("/search?id={id}&k=3&mode=filter")).unwrap();
+        assert!(status.contains("200"), "{status}");
+    }
+    for q in ["half%3Afirst", "half%3Asecond"] {
+        let (status, _) = http::http_get(server.addr(), &format!("/attr?q={q}")).unwrap();
+        assert!(status.contains("200"), "{status}");
+    }
+    let (status, _) = http::http_get(server.addr(), "/definitely-missing").unwrap();
+    assert!(status.contains("404"), "{status}");
+
+    let (status, body) = http::http_get(server.addr(), "/metrics").unwrap();
+    server.stop();
+    assert!(status.contains("200"), "{status}");
+    assert!(!body.is_empty());
+
+    let series = parse_exposition(&body);
+    let get = |k: &str| {
+        *series
+            .get(k)
+            .unwrap_or_else(|| panic!("missing series {k}\n{body}"))
+    };
+
+    // Per-endpoint request counters match what we sent.
+    assert_eq!(
+        get("ferret_http_requests_total{endpoint=\"/search\",status=\"200\"}"),
+        3.0
+    );
+    assert_eq!(
+        get("ferret_http_requests_total{endpoint=\"/attr\",status=\"200\"}"),
+        2.0
+    );
+    assert_eq!(
+        get("ferret_http_requests_total{endpoint=\"other\",status=\"404\"}"),
+        1.0
+    );
+    // Per-endpoint latency histograms count one observation per request,
+    // and the +Inf bucket always equals the count.
+    assert_eq!(
+        get("ferret_http_request_seconds_count{endpoint=\"/search\"}"),
+        3.0
+    );
+    assert_eq!(
+        get("ferret_http_request_seconds_bucket{endpoint=\"/search\",le=\"+Inf\"}"),
+        3.0
+    );
+    // The query pipeline behind /search recorded per-stage latencies.
+    assert_eq!(get("ferret_queries_total{mode=\"filtering\"}"), 3.0);
+    assert_eq!(get("ferret_query_seconds_count{mode=\"filtering\"}"), 3.0);
+    for stage in ["sketch", "filter", "rank"] {
+        assert_eq!(
+            get(&format!(
+                "ferret_query_stage_seconds_count{{mode=\"filtering\",stage=\"{stage}\"}}"
+            )),
+            3.0,
+            "stage {stage} not instrumented\n{body}"
+        );
+    }
+    // Commands dispatched through the service were counted too.
+    assert_eq!(
+        get("ferret_commands_total{command=\"query\",outcome=\"ok\"}"),
+        3.0
+    );
+    assert_eq!(
+        get("ferret_commands_total{command=\"attr\",outcome=\"ok\"}"),
+        2.0
+    );
+}
+
 /// Extractor for a tiny CSV-of-points file format.
 struct PointsExtractor;
 

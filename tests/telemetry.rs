@@ -1,0 +1,107 @@
+//! Concurrency and property tests for the metrics registry
+//! (`ferret_core::telemetry`): concurrent updates must lose nothing, and
+//! histogram snapshots must stay internally consistent for any input.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ferret::core::telemetry::{Histogram, MetricsRegistry, Unit, SIZE_BUCKETS};
+
+/// N threads hammer one counter and one histogram through shared registry
+/// handles; the final count and sum must equal the serial expectation
+/// exactly — relaxed atomics may reorder, but they may not drop updates.
+#[test]
+fn concurrent_updates_lose_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let counter = registry.counter("ops_total", "test counter", &[]);
+    let histogram = registry.histogram("ops_size", "test histogram", &[], &SIZE_BUCKETS, Unit::Raw);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let histogram = Arc::clone(&histogram);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Values spread across buckets, sum known in closed form.
+                    histogram.observe(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+
+    let n = THREADS * PER_THREAD;
+    assert_eq!(counter.get(), n);
+    assert_eq!(registry.counter_value("ops_total", &[]), Some(n));
+    let snap = registry.histogram_snapshot("ops_size", &[]).unwrap();
+    assert_eq!(snap.count, n);
+    // Sum of 0..n.
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+    assert_eq!(*snap.cumulative.last().unwrap(), n);
+}
+
+/// Contending on registry *lookup* (not just pre-fetched handles) must
+/// also be safe: get-or-create races on the same series may not create
+/// duplicate series or lose increments.
+#[test]
+fn concurrent_get_or_create_is_consistent() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 500;
+
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    registry.inc_counter("shared_total", "test", &[("who", "all")], 1);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.counter_value("shared_total", &[("who", "all")]),
+        Some(THREADS * PER_THREAD)
+    );
+    // Exactly one series in the rendered exposition.
+    let body = registry.render_prometheus();
+    let occurrences = body
+        .lines()
+        .filter(|l| l.starts_with("shared_total{"))
+        .count();
+    assert_eq!(occurrences, 1, "{body}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any observation set, cumulative bucket counts are monotone
+    /// non-decreasing, the +Inf bucket equals the total count, and the
+    /// sum is the exact integer sum of observations.
+    #[test]
+    fn histogram_snapshot_invariants(
+        values in prop::collection::vec(0u64..20_000, 0..200),
+    ) {
+        let histogram = Histogram::new(&SIZE_BUCKETS);
+        for &v in &values {
+            histogram.observe(v);
+        }
+        let snap = histogram.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.cumulative.len(), snap.bounds.len() + 1);
+        for w in snap.cumulative.windows(2) {
+            prop_assert!(w[0] <= w[1], "cumulative counts must be monotone");
+        }
+        prop_assert_eq!(*snap.cumulative.last().unwrap(), snap.count);
+        // Each finite cumulative bucket counts exactly the observations at
+        // or below its bound (le semantics).
+        for (bound, cum) in snap.bounds.iter().zip(&snap.cumulative) {
+            let expect = values.iter().filter(|&&v| v <= *bound).count() as u64;
+            prop_assert_eq!(*cum, expect, "bucket le={}", bound);
+        }
+    }
+}
