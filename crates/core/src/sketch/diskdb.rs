@@ -15,9 +15,10 @@
 //!          (ceil(nbits / 64) × u64)
 //! ```
 
-use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+
+use ferret_store::vfs::{StdVfs, Vfs, VfsFile};
 
 use crate::error::{CoreError, Result};
 use crate::filter::{FilterParams, FilterScan, FilterStats};
@@ -43,7 +44,7 @@ fn io_err(context: &str, e: std::io::Error) -> CoreError {
 
 /// Appends sketched objects to a sketch file.
 pub struct SketchFileWriter {
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn VfsFile>>,
     path: PathBuf,
     nbits: usize,
     records: u64,
@@ -52,10 +53,18 @@ pub struct SketchFileWriter {
 impl SketchFileWriter {
     /// Creates (truncating) a sketch file for `nbits`-bit sketches.
     pub fn create(path: &Path, nbits: usize) -> Result<Self> {
+        Self::create_with_vfs(&StdVfs, path, nbits)
+    }
+
+    /// [`SketchFileWriter::create`] over an explicit [`Vfs`] — the seam
+    /// fault-injection tests use to tear or fail individual writes.
+    pub fn create_with_vfs(vfs: &dyn Vfs, path: &Path, nbits: usize) -> Result<Self> {
         if nbits == 0 {
             return Err(CoreError::InvalidSketchParams("nbits must be > 0".into()));
         }
-        let file = File::create(path).map_err(|e| io_err("create sketch file", e))?;
+        let file = vfs
+            .create(path)
+            .map_err(|e| io_err("create sketch file", e))?;
         let mut writer = BufWriter::new(file);
         writer
             .write_all(&MAGIC.to_le_bytes())
@@ -118,7 +127,7 @@ impl SketchFileWriter {
     pub fn finish(mut self) -> Result<PathBuf> {
         self.writer.flush().map_err(|e| io_err("flush", e))?;
         self.writer
-            .get_ref()
+            .get_mut()
             .sync_all()
             .map_err(|e| io_err("sync", e))?;
         Ok(self.path)
@@ -127,7 +136,7 @@ impl SketchFileWriter {
 
 /// Streams records back out of a sketch file.
 pub struct SketchFileReader {
-    reader: BufReader<File>,
+    reader: BufReader<Box<dyn VfsFile>>,
     nbits: usize,
 }
 
@@ -155,7 +164,14 @@ fn read_header<R: Read>(reader: &mut R) -> Result<usize> {
 impl SketchFileReader {
     /// Opens a sketch file and validates its header.
     pub fn open(path: &Path) -> Result<Self> {
-        let file = File::open(path).map_err(|e| io_err("open sketch file", e))?;
+        Self::open_with_vfs(&StdVfs, path)
+    }
+
+    /// [`SketchFileReader::open`] over an explicit [`Vfs`].
+    pub fn open_with_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Self> {
+        let file = vfs
+            .open_read(path)
+            .map_err(|e| io_err("open sketch file", e))?;
         let mut reader = BufReader::new(file);
         let nbits = read_header(&mut reader)?;
         Ok(Self { reader, nbits })
@@ -248,7 +264,17 @@ pub fn filter_candidates_on_disk(
     query: &SketchedObject,
     params: &FilterParams,
 ) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
-    let mut reader = SketchFileReader::open(path)?;
+    filter_candidates_on_disk_with_vfs(&StdVfs, path, query, params)
+}
+
+/// [`filter_candidates_on_disk`] over an explicit [`Vfs`].
+pub fn filter_candidates_on_disk_with_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+    query: &SketchedObject,
+    params: &FilterParams,
+) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
+    let mut reader = SketchFileReader::open_with_vfs(vfs, path)?;
     check_query_len(query, reader.nbits())?;
     let mut scan = FilterScan::new(query, params)?;
     reader.for_each(|id, so| scan.observe(id, so))?;
@@ -278,8 +304,10 @@ struct Chunk {
 /// Indexes the file into runs of at most `chunk_records` records by
 /// seek-skipping record payloads (no sketch decoding). Returns `nbits`
 /// and the chunk list.
-fn chunk_offsets(path: &Path, chunk_records: usize) -> Result<(usize, Vec<Chunk>)> {
-    let file = File::open(path).map_err(|e| io_err("open sketch file", e))?;
+fn chunk_offsets(vfs: &dyn Vfs, path: &Path, chunk_records: usize) -> Result<(usize, Vec<Chunk>)> {
+    let file = vfs
+        .open_read(path)
+        .map_err(|e| io_err("open sketch file", e))?;
     let mut reader = BufReader::new(file);
     let nbits = read_header(&mut reader)?;
     let words = nbits.div_ceil(64) as u64;
@@ -336,18 +364,30 @@ pub fn filter_candidates_on_disk_sharded(
     params: &FilterParams,
     threads: usize,
 ) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
+    filter_candidates_on_disk_sharded_with_vfs(&StdVfs, path, query, params, threads)
+}
+
+/// [`filter_candidates_on_disk_sharded`] over an explicit [`Vfs`]. Every
+/// worker opens its own handle through the shared `vfs`.
+pub fn filter_candidates_on_disk_sharded_with_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+    query: &SketchedObject,
+    params: &FilterParams,
+    threads: usize,
+) -> Result<(std::collections::HashSet<ObjectId>, FilterStats)> {
     if threads <= 1 {
-        return filter_candidates_on_disk(path, query, params);
+        return filter_candidates_on_disk_with_vfs(vfs, path, query, params);
     }
-    let (nbits, chunks) = chunk_offsets(path, CHUNK_RECORDS)?;
+    let (nbits, chunks) = chunk_offsets(vfs, path, CHUNK_RECORDS)?;
     check_query_len(query, nbits)?;
     if chunks.len() <= 1 {
-        return filter_candidates_on_disk(path, query, params);
+        return filter_candidates_on_disk_with_vfs(vfs, path, query, params);
     }
     let shard_scans = crate::parallel::map_shards(threads, chunks.len(), |_, range| {
         let run = &chunks[range];
         let mut scan = FilterScan::new(query, params)?;
-        let mut reader = SketchFileReader::open(path)?;
+        let mut reader = SketchFileReader::open_with_vfs(vfs, path)?;
         reader.seek_to(run[0].offset)?;
         let records: usize = run.iter().map(|c| c.records).sum();
         let mut buffer = SketchedObject {
@@ -571,6 +611,84 @@ mod tests {
         let mut reader = SketchFileReader::open(&path).unwrap();
         let result = reader.for_each(|_, _| Ok(()));
         assert!(result.is_err(), "torn record must surface as an error");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// ENOSPC mid-stream through the VFS seam: the writer surfaces the
+    /// injected error, only a byte prefix lands on disk, and reading the
+    /// torn file back errors instead of fabricating records.
+    #[test]
+    fn byte_budget_tears_sketch_file_and_reader_detects_it() {
+        use ferret_store::vfs::{FaultPlan, FaultVfs};
+        use std::sync::Arc;
+
+        let path = tmpfile("enospc");
+        let objects = sketched_objects(50, 64);
+        // Enough budget for the header and a few records, then ENOSPC.
+        let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::with_byte_budget(400));
+        let mut writer = SketchFileWriter::create_with_vfs(&fault, &path, 64).unwrap();
+        let mut failed = None;
+        for (id, so) in &objects {
+            if let Err(e) = writer.append(*id, so) {
+                failed = Some(e);
+                break;
+            }
+        }
+        // The BufWriter may defer the failure to finish(); either way the
+        // injected error must surface, never be swallowed.
+        let err = match failed {
+            Some(e) => e,
+            None => writer.finish().expect_err("budget never hit"),
+        };
+        match err {
+            CoreError::Io(msg) => assert!(msg.contains("injected fault"), "{msg}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A byte prefix landed; the reader must reject the torn record.
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.len() <= 400, "budget exceeded: {} bytes", bytes.len());
+        if let Ok(mut reader) = SketchFileReader::open(&path) {
+            assert!(reader.for_each(|_, _| Ok(())).is_err());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A simulated crash while writing the sketch file: after the crash
+    /// model runs, the surviving prefix parses only up to the tear — the
+    /// sharded and serial scans both refuse to return partial results.
+    #[test]
+    fn crash_during_sketch_write_leaves_detectable_torn_tail() {
+        use ferret_store::vfs::{FaultPlan, FaultVfs};
+        use std::sync::Arc;
+
+        let path = tmpfile("crash");
+        let objects = sketched_objects(300, 64);
+        // Event 0 is the create; the BufWriter's first ~8 KiB flush is
+        // event 1 — crash there, mid-file, with a seeded torn write.
+        let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::crash_at(1, 11));
+        let mut writer = SketchFileWriter::create_with_vfs(&fault, &path, 64).unwrap();
+        let mut saw_error = false;
+        for (id, so) in &objects {
+            if writer.append(*id, so).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        if !saw_error {
+            saw_error = writer.finish().is_err();
+        }
+        assert!(saw_error, "crash never surfaced");
+        fault.crash().unwrap();
+        // Whatever survived is a prefix; scanning it must either succeed
+        // on whole records or error at the tear — never panic or loop.
+        let query = objects[0].1.clone();
+        let params = FilterParams::default();
+        let serial = filter_candidates_on_disk(&path, &query, &params);
+        let sharded = filter_candidates_on_disk_sharded(&path, &query, &params, 4);
+        match (&serial, &sharded) {
+            (Ok((a, _)), Ok((b, _))) => assert_eq!(a, b),
+            (Err(_), _) | (_, Err(_)) => {}
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -499,6 +499,9 @@ fn render_labels(labels: &LabelSet) -> String {
 fn render_labels_with(labels: &LabelSet, extra_key: &str, extra_value: &str) -> String {
     let mut all = labels.clone();
     all.push((extra_key.to_string(), extra_value.to_string()));
+    // Series labels are stored sorted by key; keep the exposition sorted
+    // too so the added key lands in deterministic position.
+    all.sort_by(|a, b| a.0.cmp(&b.0));
     render_labels(&all)
 }
 

@@ -163,7 +163,23 @@ impl FerretService {
         config: EngineConfig,
         db_options: DbOptions,
     ) -> Result<Self, ServiceError> {
-        let db = Database::open_with(dir, db_options)?;
+        Self::from_db(Database::open_with(dir, db_options)?, config)
+    }
+
+    /// [`FerretService::open`] over an explicit [`ferret_store::Vfs`] —
+    /// lets fault-injection tests fail or tear the service's metadata I/O.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn ferret_store::Vfs>,
+        dir: &std::path::Path,
+        config: EngineConfig,
+        db_options: DbOptions,
+    ) -> Result<Self, ServiceError> {
+        Self::from_db(Database::open_with_vfs(vfs, dir, db_options)?, config)
+    }
+
+    /// Builds the service from an already-opened database: decode every
+    /// stored object, rebuild the engine, load attributes.
+    fn from_db(db: Database, config: EngineConfig) -> Result<Self, ServiceError> {
         let mut engine = SearchEngine::new(config);
         let mut recovered = Vec::new();
         for (key, value) in db.iter_table(FEATURES_TABLE) {

@@ -1,0 +1,266 @@
+//! Service-level crash/restart property test.
+//!
+//! Random insert/delete/flush/checkpoint scripts run against a persistent
+//! [`FerretService`] whose metadata I/O goes through the fault-injection
+//! VFS. Each script is killed at a random point in its I/O event stream,
+//! the simulated power loss is applied, and the recovered service must be
+//! (a) a consistent prefix of the acknowledged operations — every
+//! transaction all-or-nothing, nothing acknowledged lost — and (b)
+//! bit-identical, over rendered protocol responses, to a fresh in-memory
+//! engine rebuilt from exactly the surviving objects.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ferret_attr::store::{decode_attributes, ATTR_TABLE};
+use ferret_attr::{Attributes, AttrsBuilder};
+use ferret_core::codec::{decode_object, encode_object};
+use ferret_core::engine::EngineConfig;
+use ferret_core::object::{DataObject, ObjectId};
+use ferret_core::sketch::SketchParams;
+use ferret_core::vector::FeatureVector;
+use ferret_query::{FerretService, ServiceError, FEATURES_TABLE};
+use ferret_store::vfs::{FaultPlan, FaultVfs, StdVfs};
+use ferret_store::{Database, DbOptions, Durability};
+use proptest::prelude::*;
+
+/// Logical service contents: object id → whether it carries attributes.
+/// Object payloads are a pure function of the id, so this is the whole
+/// state.
+type Model = BTreeMap<u64, bool>;
+
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Insert(u64),
+    Remove(u64),
+    Flush,
+    Checkpoint,
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::basic(
+        SketchParams::new(128, vec![0.0; 3], vec![1.0; 3]).unwrap(),
+        7,
+    )
+}
+
+fn db_options() -> DbOptions {
+    DbOptions {
+        durability: Durability::Sync,
+        checkpoint_every: None,
+    }
+}
+
+/// The (distinct) object stored under `id`.
+fn obj_for(id: u64) -> DataObject {
+    let x = (id + 1) as f32 / 300.0;
+    DataObject::single(FeatureVector::new(vec![x, x, x]).unwrap())
+}
+
+/// Even ids carry attributes, odd ids don't.
+fn attrs_for(id: u64) -> Option<Attributes> {
+    (id % 2 == 0).then(|| {
+        AttrsBuilder::new()
+            .int("idx", id as i64)
+            .keyword("parity", "even")
+            .build()
+    })
+}
+
+/// Applies one script op to a live service, mirroring it in `model`.
+/// Inserting an already-present id is a script no-op (the engine rejects
+/// duplicates); removing an absent id still commits its delete
+/// transaction.
+fn apply(svc: &mut FerretService, model: &mut Model, op: &ScriptOp) -> Result<(), ServiceError> {
+    match op {
+        ScriptOp::Insert(id) => {
+            if model.contains_key(id) {
+                return Ok(());
+            }
+            svc.insert(ObjectId(*id), obj_for(*id), attrs_for(*id))?;
+            model.insert(*id, attrs_for(*id).is_some());
+        }
+        ScriptOp::Remove(id) => {
+            svc.remove(ObjectId(*id))?;
+            model.remove(id);
+        }
+        ScriptOp::Flush => svc.flush()?,
+        ScriptOp::Checkpoint => svc.checkpoint()?,
+    }
+    Ok(())
+}
+
+/// Reads the post-crash store with the plain filesystem, checking the
+/// per-object invariants as it goes: every surviving feature row decodes
+/// to the exact bytes originally written, and no attribute row survives
+/// without its same-transaction feature row.
+fn read_recovered(dir: &Path) -> Model {
+    let db = Database::open(dir).expect("recovery after crash must succeed");
+    let mut recovered = Model::new();
+    for (key, value) in db.iter_table(FEATURES_TABLE) {
+        let id = u64::from_le_bytes(key.try_into().expect("feature key is 8 bytes"));
+        let obj = decode_object(value).expect("recovered object must decode");
+        assert_eq!(
+            encode_object(&obj),
+            encode_object(&obj_for(id)),
+            "object {id} recovered with different contents"
+        );
+        recovered.insert(id, false);
+    }
+    for (key, value) in db.iter_table(ATTR_TABLE) {
+        let id = u64::from_le_bytes(key.try_into().expect("attr key is 8 bytes"));
+        decode_attributes(value).expect("recovered attributes must decode");
+        let has = recovered
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("attr row for {id} without its feature row"));
+        *has = true;
+    }
+    recovered
+}
+
+/// A fresh in-memory service holding exactly the objects in `model`.
+fn rebuild_in_memory(model: &Model) -> FerretService {
+    let mut svc = FerretService::in_memory(config());
+    let items: Vec<_> = model
+        .iter()
+        .map(|(&id, &has_attrs)| {
+            (
+                ObjectId(id),
+                obj_for(id),
+                if has_attrs { attrs_for(id) } else { None },
+            )
+        })
+        .collect();
+    svc.insert_batch(items).expect("rebuild from model");
+    svc
+}
+
+fn op_strategy() -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        (0u64..24).prop_map(ScriptOp::Insert),
+        (0u64..24).prop_map(ScriptOp::Insert),
+        (0u64..24).prop_map(ScriptOp::Remove),
+        Just(ScriptOp::Flush),
+        Just(ScriptOp::Checkpoint),
+    ]
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ferret-svc-crash-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill/reopen at a random point of a random script: the recovered
+    /// state is a consistent prefix and queries over it match a fresh
+    /// engine built from the surviving objects.
+    #[test]
+    fn recovered_service_matches_clean_rebuild(
+        ops in prop::collection::vec(op_strategy(), 10..40),
+        frac in 0u64..1000,
+    ) {
+        // Pass A: fault-free run, recording the I/O event trace and the
+        // logical state after each op.
+        let dir_a = tmpdir("clean");
+        let clean = FaultVfs::new(Arc::new(StdVfs), FaultPlan::default());
+        let mut states = vec![Model::new()];
+        {
+            let mut svc = FerretService::open_with_vfs(
+                Arc::new(clean.clone()), &dir_a, config(), db_options(),
+            ).expect("fault-free open");
+            let mut model = Model::new();
+            for op in &ops {
+                apply(&mut svc, &mut model, op).expect("fault-free op");
+                states.push(model.clone());
+            }
+        }
+        let total_events = clean.fault_points();
+        prop_assert!(!clean.tripped());
+        prop_assert!(total_events > 0);
+        std::fs::remove_dir_all(&dir_a).ok();
+
+        // Pass B: same script, crashing at a script-chosen event index.
+        // The replay is deterministic, so pass B's I/O stream matches
+        // pass A's up to the crash point.
+        let point = frac * total_events / 1000;
+        let worst_case = frac % 2 == 0;
+        let dir_b = tmpdir("crash");
+        let fault = FaultVfs::new(
+            Arc::new(StdVfs),
+            FaultPlan::crash_at(point, 0x9e37_79b9_7f4a_7c15 ^ frac),
+        );
+        let mut ok_ops = ops.len();
+        match FerretService::open_with_vfs(
+            Arc::new(fault.clone()), &dir_b, config(), db_options(),
+        ) {
+            Ok(mut svc) => {
+                let mut model = Model::new();
+                for (i, op) in ops.iter().enumerate() {
+                    if apply(&mut svc, &mut model, op).is_err() {
+                        ok_ops = i;
+                        break;
+                    }
+                }
+            }
+            Err(_) => ok_ops = 0,
+        }
+        if worst_case {
+            fault.crash_worst_case().unwrap();
+        } else {
+            fault.crash().unwrap();
+        }
+
+        // Prefix consistency: with Durability::Sync every acknowledged op
+        // is durable, and the op interrupted mid-commit may or may not
+        // have reached the log — so exactly states[ok_ops] or the next.
+        let recovered = read_recovered(&dir_b);
+        let floor = &states[ok_ops];
+        let ceiling = &states[(ok_ops + 1).min(ops.len())];
+        prop_assert!(
+            recovered == *floor || recovered == *ceiling,
+            "crash at event {point}/{total_events} (worst={worst_case}): \
+             recovered {recovered:?} is neither state {ok_ops} {floor:?} \
+             nor its successor {ceiling:?}"
+        );
+
+        // Clean-rebuild equivalence: reopening the crashed directory must
+        // behave bit-identically (rendered protocol responses) to a fresh
+        // in-memory engine over the surviving objects.
+        let mut reopened = FerretService::open(&dir_b, config(), db_options())
+            .expect("post-crash service open");
+        let mut rebuilt = rebuild_in_memory(&recovered);
+        prop_assert_eq!(reopened.engine().len(), recovered.len());
+        prop_assert_eq!(
+            reopened.execute_line("stat"),
+            rebuilt.execute_line("stat")
+        );
+        prop_assert_eq!(
+            reopened.execute_line("attr idx>=0"),
+            rebuilt.execute_line("attr idx>=0")
+        );
+        for &id in recovered.keys() {
+            for line in [
+                format!("query id={id} k=5 mode=brute"),
+                format!("query id={id} k=3"),
+            ] {
+                prop_assert_eq!(
+                    reopened.execute_line(&line),
+                    rebuilt.execute_line(&line),
+                    "divergence on {}", line
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

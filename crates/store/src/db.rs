@@ -16,10 +16,12 @@
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{Result, StoreError};
 use crate::snapshot::Snapshot;
 use crate::table::Table;
+use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{Op, Wal};
 
 /// When commits become durable.
@@ -61,6 +63,7 @@ const SNAPSHOT_FILE: &str = "snapshot.db";
 /// An embedded, transaction-protected, crash-recoverable key-value store.
 pub struct Database {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     wal: Wal,
     tables: BTreeMap<String, Table>,
     options: DbOptions,
@@ -86,9 +89,16 @@ impl Database {
     /// Opens (or creates) a database with explicit options, running crash
     /// recovery: load the latest snapshot, then replay the log suffix.
     pub fn open_with(dir: &Path, options: DbOptions) -> Result<Self> {
-        std::fs::create_dir_all(dir)?;
-        let snapshot = Snapshot::read_from(&dir.join(SNAPSHOT_FILE))?.unwrap_or_default();
-        let (wal, batches) = Wal::open(&dir.join(WAL_FILE))?;
+        Self::open_with_vfs(Arc::new(StdVfs), dir, options)
+    }
+
+    /// [`Database::open_with`] over an explicit [`Vfs`] — the seam
+    /// fault-injection tests use to fail or tear any individual I/O.
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, dir: &Path, options: DbOptions) -> Result<Self> {
+        vfs.create_dir_all(dir)?;
+        let snapshot =
+            Snapshot::read_from_vfs(vfs.as_ref(), &dir.join(SNAPSHOT_FILE))?.unwrap_or_default();
+        let (wal, batches) = Wal::open_with_vfs(Arc::clone(&vfs), &dir.join(WAL_FILE))?;
         let mut tables = snapshot.tables;
         for batch in &batches {
             // Records at or below the snapshot sequence are already
@@ -101,6 +111,7 @@ impl Database {
         }
         Ok(Self {
             dir: dir.to_path_buf(),
+            vfs,
             wal,
             tables,
             options,
@@ -250,7 +261,7 @@ impl Database {
             last_seq: self.wal.next_seq() - 1,
             tables: self.tables.clone(),
         };
-        snapshot.write_to(&self.dir.join(SNAPSHOT_FILE))?;
+        snapshot.write_to_vfs(self.vfs.as_ref(), &self.dir.join(SNAPSHOT_FILE))?;
         self.wal.reset()?;
         self.commits_since_flush = 0;
         self.commits_since_checkpoint = 0;

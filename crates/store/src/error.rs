@@ -18,6 +18,10 @@ pub enum StoreError {
     UnknownTable(String),
     /// A transaction was already finished (committed or aborted).
     TransactionClosed,
+    /// A prior write/fsync failure left the write-ahead log in an unknown
+    /// on-disk state; the store refuses further mutations until reopened
+    /// (reopen truncates any torn tail and recovers a consistent prefix).
+    Poisoned,
 }
 
 impl fmt::Display for StoreError {
@@ -28,6 +32,10 @@ impl fmt::Display for StoreError {
             StoreError::Limit(msg) => write!(f, "format limit exceeded: {msg}"),
             StoreError::UnknownTable(name) => write!(f, "unknown table: {name}"),
             StoreError::TransactionClosed => write!(f, "transaction already finished"),
+            StoreError::Poisoned => write!(
+                f,
+                "write-ahead log poisoned by an earlier write/fsync failure; reopen to recover"
+            ),
         }
     }
 }
@@ -63,5 +71,7 @@ mod tests {
             .to_string()
             .contains("bad crc"));
         assert!(std::error::Error::source(&StoreError::TransactionClosed).is_none());
+        assert!(StoreError::Poisoned.to_string().contains("poisoned"));
+        assert!(std::error::Error::source(&StoreError::Poisoned).is_none());
     }
 }

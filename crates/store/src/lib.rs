@@ -34,9 +34,11 @@ pub mod db;
 pub mod error;
 pub mod snapshot;
 pub mod table;
+pub mod vfs;
 pub mod wal;
 
 pub use db::{Database, DbOptions, Durability, Transaction};
 pub use error::{Result, StoreError};
 pub use table::Table;
+pub use vfs::{FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{Batch, Op, Wal};

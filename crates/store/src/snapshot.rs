@@ -15,14 +15,14 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 use crate::codec::{Decoder, Encoder};
 use crate::crc::crc32;
 use crate::error::{Result, StoreError};
 use crate::table::Table;
+use crate::vfs::{StdVfs, Vfs};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"FSNP");
 const VERSION: u32 = 1;
@@ -108,18 +108,26 @@ impl Snapshot {
 
     /// Writes the snapshot durably: temp file, fsync, atomic rename.
     pub fn write_to(&self, path: &Path) -> Result<()> {
+        self.write_to_vfs(&StdVfs, path)
+    }
+
+    /// [`Snapshot::write_to`] over an explicit [`Vfs`].
+    ///
+    /// A failed directory fsync is an error: without it the rename is not
+    /// durable and the caller must not truncate the WAL.
+    pub fn write_to_vfs(&self, vfs: &dyn Vfs, path: &Path) -> Result<()> {
         let bytes = self.encode()?;
         let tmp = path.with_extension("tmp");
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = vfs.create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, path)?;
+        vfs.rename(&tmp, path)?;
         // Persist the rename itself.
         if let Some(dir) = path.parent() {
-            if let Ok(d) = File::open(dir) {
-                let _ = d.sync_all();
+            if !dir.as_os_str().is_empty() {
+                vfs.sync_dir(dir)?;
             }
         }
         Ok(())
@@ -127,14 +135,16 @@ impl Snapshot {
 
     /// Loads a snapshot from disk; `Ok(None)` if the file does not exist.
     pub fn read_from(path: &Path) -> Result<Option<Self>> {
-        let mut bytes = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut bytes)?;
-            }
+        Self::read_from_vfs(&StdVfs, path)
+    }
+
+    /// [`Snapshot::read_from`] over an explicit [`Vfs`].
+    pub fn read_from_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Option<Self>> {
+        let bytes = match vfs.read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
-        }
+        };
         Ok(Some(Self::decode(&bytes)?))
     }
 }

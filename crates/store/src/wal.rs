@@ -7,6 +7,19 @@
 //! detected by CRC/framing checks and discarded, leaving the store in the
 //! consistent state of the last intact commit.
 //!
+//! All file access goes through the [`crate::vfs`] seam so fault-injection
+//! tests can fail, tear, or drop any individual write or fsync. Two
+//! durability details are deliberate:
+//!
+//! * creating a *new* log file fsyncs the parent directory, so the file
+//!   name itself survives a crash (a rename-style guarantee the snapshot
+//!   path already had);
+//! * after a failed write or fsync the log is **poisoned** — every later
+//!   append/sync/reset fails with [`StoreError::Poisoned`] until the log
+//!   is reopened. A failed fsync leaves the kernel page cache in an
+//!   unknowable state, so pretending a retry succeeded would silently
+//!   break the commit contract.
+//!
 //! Record framing (little-endian):
 //!
 //! ```text
@@ -18,13 +31,14 @@
 //!   value: u32-prefixed blob (put only)
 //! ```
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::codec::{Decoder, Encoder};
 use crate::crc::crc32;
 use crate::error::{Result, StoreError};
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"FWAL");
 const HEADER_LEN: usize = 4 + 8 + 4 + 4;
@@ -160,10 +174,16 @@ pub fn scan(bytes: &[u8]) -> Replay {
 
 /// An open, append-only write-ahead log.
 pub struct Wal {
-    writer: BufWriter<File>,
+    #[allow(dead_code)] // held so callers can re-derive the vfs; used by Database.
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
+    /// Records appended but not yet handed to the file; [`Wal::sync`]
+    /// writes and fsyncs them in one step.
+    buffer: Vec<u8>,
     next_seq: u64,
     appended_since_sync: bool,
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for Wal {
@@ -171,6 +191,7 @@ impl std::fmt::Debug for Wal {
         f.debug_struct("Wal")
             .field("path", &self.path)
             .field("next_seq", &self.next_seq)
+            .field("poisoned", &self.poisoned)
             .finish()
     }
 }
@@ -181,33 +202,43 @@ impl Wal {
     /// A torn tail is truncated so new appends start at a clean boundary.
     /// Returns the log handle and the recovered batches.
     pub fn open(path: &Path) -> Result<(Self, Vec<Batch>)> {
-        let mut bytes = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut bytes)?;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Self::open_with_vfs(Arc::new(StdVfs), path)
+    }
+
+    /// [`Wal::open`] over an explicit [`Vfs`] (the fault-injection seam).
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: &Path) -> Result<(Self, Vec<Batch>)> {
+        let existed = vfs.exists(path);
+        let bytes = match vfs.read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e.into()),
-        }
+        };
         let replay = scan(&bytes);
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .read(true)
-            .truncate(false)
-            .open(path)?;
+        let mut file = vfs.open_rw(path)?;
+        if !existed {
+            // A freshly created log file is only durable once its directory
+            // entry is fsynced; otherwise a crash can drop the whole file
+            // even after its records were synced.
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    vfs.sync_dir(dir)?;
+                }
+            }
+        }
         if replay.torn_tail {
             file.set_len(replay.good_len)?;
         }
-        let mut file = file;
         file.seek(SeekFrom::Start(replay.good_len))?;
         let next_seq = replay.batches.last().map_or(1, |b| b.seq + 1);
         Ok((
             Self {
-                writer: BufWriter::new(file),
+                vfs,
+                file,
                 path: path.to_path_buf(),
+                buffer: Vec::new(),
                 next_seq,
                 appended_since_sync: false,
+                poisoned: false,
             },
             replay.batches,
         ))
@@ -218,10 +249,25 @@ impl Wal {
         self.next_seq
     }
 
+    /// True if an earlier write/fsync failure poisoned this log.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            Err(StoreError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Appends one transaction; returns its sequence number.
     ///
-    /// The record is buffered; call [`Wal::sync`] to make it durable.
+    /// The record is buffered in memory; call [`Wal::sync`] to write and
+    /// fsync it.
     pub fn append(&mut self, ops: &[Op]) -> Result<u64> {
+        self.check_poisoned()?;
         let payload = encode_payload(ops)?;
         let seq = self.next_seq;
         let mut header = [0u8; HEADER_LEN];
@@ -229,32 +275,57 @@ impl Wal {
         header[4..12].copy_from_slice(&seq.to_le_bytes());
         header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[16..20].copy_from_slice(&crc32(&payload).to_le_bytes());
-        self.writer.write_all(&header)?;
-        self.writer.write_all(&payload)?;
+        self.buffer.extend_from_slice(&header);
+        self.buffer.extend_from_slice(&payload);
         self.next_seq += 1;
         self.appended_since_sync = true;
         Ok(seq)
     }
 
-    /// Flushes buffered records and fsyncs the file.
+    /// Writes buffered records and fsyncs the file.
+    ///
+    /// Any failure poisons the log: a torn record may now sit at the tail,
+    /// and after a failed fsync the durable state is unknowable, so the
+    /// only safe continuation is a reopen (which truncates the tear).
     pub fn sync(&mut self) -> Result<()> {
-        self.writer.flush()?;
+        self.check_poisoned()?;
+        if !self.buffer.is_empty() {
+            let buffer = std::mem::take(&mut self.buffer);
+            if let Err(e) = self.file.write_all(&buffer) {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        }
         if self.appended_since_sync {
-            self.writer.get_ref().sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                self.poisoned = true;
+                return Err(e.into());
+            }
             self.appended_since_sync = false;
         }
         Ok(())
     }
 
     /// Truncates the log after a checkpoint, carrying the sequence forward.
+    ///
+    /// Buffered-but-unsynced records are discarded: the caller checkpoints
+    /// only after a successful [`Wal::sync`], so everything in the buffer
+    /// is at or past the snapshot it just wrote.
     pub fn reset(&mut self) -> Result<()> {
-        self.writer.flush()?;
-        let file = self.writer.get_ref();
-        file.set_len(0)?;
-        file.sync_data()?;
-        let mut file = self.writer.get_ref().try_clone()?;
-        file.seek(SeekFrom::Start(0))?;
-        self.writer = BufWriter::new(file);
+        self.check_poisoned()?;
+        self.buffer.clear();
+        if let Err(e) = self.file.set_len(0) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        if let Err(e) = self.file.seek(SeekFrom::Start(0)) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
         self.appended_since_sync = false;
         Ok(())
     }
@@ -265,9 +336,21 @@ impl Wal {
     }
 }
 
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best-effort flush of buffered records, mirroring the historical
+        // BufWriter behavior: unsynced commits *may* survive a clean drop,
+        // but nothing is promised. Never touch a poisoned file.
+        if !self.poisoned && !self.buffer.is_empty() {
+            let _ = self.file.write_all(&self.buffer);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ferret-wal-{name}-{}", std::process::id()));
@@ -393,8 +476,8 @@ mod tests {
             wal.append(&[put("t", b"a", b"1")]).unwrap();
             wal.sync().unwrap();
             wal.append(&[put("t", b"b", b"2")]).unwrap();
-            // Dropped without sync: record may or may not hit disk, but the
-            // BufWriter is simply dropped here (data loss, not corruption).
+            // Dropped without sync: the buffered record is simply lost
+            // (data loss, not corruption).
             std::mem::forget(wal); // Simulate losing buffered data on crash.
         }
         let (_, batches) = Wal::open(&path).unwrap();
@@ -437,6 +520,83 @@ mod tests {
         let (_, batches) = Wal::open(&path).unwrap();
         assert_eq!(batches.len(), 1);
         assert!(batches[0].ops.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn new_log_file_fsyncs_parent_directory() {
+        use crate::vfs::{FaultPlan, FaultVfs, IoEventKind};
+        let dir = tmpdir("dirsync");
+        let path = dir.join("wal.log");
+        std::fs::remove_file(&path).ok();
+        let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::default());
+        {
+            let (mut wal, _) = Wal::open_with_vfs(Arc::new(fault.clone()), &path).unwrap();
+            wal.append(&[put("t", b"a", b"1")]).unwrap();
+            wal.sync().unwrap();
+        }
+        // The open must have emitted a SyncDir for the parent, making the
+        // new file's name durable (satellite fix: mirrors snapshot rename).
+        let kinds: Vec<IoEventKind> = fault.events().iter().map(|e| e.kind).collect();
+        assert!(
+            kinds.contains(&IoEventKind::SyncDir),
+            "no parent dir fsync on create: {kinds:?}"
+        );
+        // Worst-case crash after the records were synced: the file must
+        // survive with its synced record intact.
+        fault.crash_worst_case().unwrap();
+        let (_, batches) = Wal::open(&path).unwrap();
+        assert_eq!(batches.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopening_existing_log_skips_dir_sync() {
+        use crate::vfs::{FaultPlan, FaultVfs, IoEventKind};
+        let dir = tmpdir("dirsync-skip");
+        let path = dir.join("wal.log");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&[put("t", b"a", b"1")]).unwrap();
+            wal.sync().unwrap();
+        }
+        let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::default());
+        let (_, batches) = Wal::open_with_vfs(Arc::new(fault.clone()), &path).unwrap();
+        assert_eq!(batches.len(), 1);
+        let kinds: Vec<IoEventKind> = fault.events().iter().map(|e| e.kind).collect();
+        assert!(!kinds.contains(&IoEventKind::SyncDir), "{kinds:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_sync_poisons_the_log() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let dir = tmpdir("poison");
+        let path = dir.join("wal.log");
+        std::fs::remove_file(&path).ok();
+        // Event sequence: 0 OpenRw, 1 SyncDir (new file). Fail sync #1
+        // (the first file sync_data — sync #0 is the dir fsync).
+        let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::fail_nth_sync(1));
+        let (mut wal, _) = Wal::open_with_vfs(Arc::new(fault), &path).unwrap();
+        wal.append(&[put("t", b"a", b"1")]).unwrap();
+        let err = wal.sync().unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err:?}");
+        assert!(wal.is_poisoned());
+        // Everything after the failed fsync must refuse to run.
+        assert!(matches!(
+            wal.append(&[put("t", b"b", b"2")]),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(wal.sync(), Err(StoreError::Poisoned)));
+        assert!(matches!(wal.reset(), Err(StoreError::Poisoned)));
+        drop(wal);
+        // Reopen recovers: the record bytes reached the file (only the
+        // fsync failed), so replay may see it — or a clean prefix.
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        assert!(!wal.is_poisoned());
+        wal.append(&[put("t", b"c", b"3")]).unwrap();
+        wal.sync().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,6 +14,13 @@ cargo test -q
 echo "==> integration: server, determinism, telemetry"
 cargo test -q --test server_and_acquisition --test parallel_determinism --test telemetry
 
+echo "==> fault suite: crash points, torn tails, service crash recovery"
+# Fixed seed so the randomized crash/recovery scripts are reproducible
+# across CI runs; bump it to explore a fresh corner of the fault space.
+PROPTEST_SEED=20260805 cargo test -q -p ferret-store
+PROPTEST_SEED=20260805 cargo test -q -p ferret-query \
+    --test service_crash_recovery --test store_fault_telemetry
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

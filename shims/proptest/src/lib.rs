@@ -370,9 +370,11 @@ fn parse_simple_regex(pattern: &str) -> Option<(RangeInclusive<usize>, CharClass
     let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
         (CharClass::Any, rest)
     } else if let Some(end) = pattern.strip_prefix('[').and_then(|r| r.find(']')) {
+        // `end` indexes the `]` in the tail after `[`, so the class body
+        // is pattern[1..=end] — the bracket itself is not part of it.
         let body = &pattern[1..=end];
         let mut chars = Vec::new();
-        let raw: Vec<char> = body[..body.len() - 1].chars().collect();
+        let raw: Vec<char> = body.chars().collect();
         let mut i = 0;
         while i < raw.len() {
             if i + 2 < raw.len() && raw[i + 1] == '-' {
