@@ -52,16 +52,14 @@ fn bench_query_modes(c: &mut Criterion) {
         ("brute_sketch", QueryMode::BruteForceSketch),
         ("filtering", QueryMode::Filtering),
     ] {
-        let options = QueryOptions {
-            k: 10,
-            mode,
-            filter: FilterParams {
+        let options = QueryOptions::default()
+            .with_k(10)
+            .with_mode(mode)
+            .with_filter(FilterParams {
                 query_segments: 2,
                 candidates_per_segment: 40,
                 ..FilterParams::default()
-            },
-            ..QueryOptions::default()
-        };
+            });
         group.bench_function(label, |b| {
             b.iter(|| {
                 black_box(

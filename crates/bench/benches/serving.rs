@@ -1,0 +1,134 @@
+//! Benchmark for concurrent query serving: multi-client throughput over
+//! the TCP protocol server.
+//!
+//! Measures end-to-end queries/second with 1, 2, and 4 concurrent client
+//! connections against one live server (reads dispatched under the shared
+//! lock, admission control enabled). Besides the criterion report, the
+//! run writes a machine-readable `BENCH_serving.json` at the repository
+//! root with the per-connection-count throughput.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use ferret_core::engine::EngineConfig;
+use ferret_core::telemetry::MetricsRegistry;
+use ferret_datatypes::image::{generate_mixed_images, image_sketch_params};
+use ferret_query::{AdmissionControl, Client, FerretService, ServeConfig, Server};
+
+const DATASET: usize = 2_000;
+const QUERIES_PER_CLIENT: usize = 40;
+const QUERY: &str = "query id=7 k=10 mode=filter r=2 cand=40";
+
+fn shared_service(n: usize) -> Arc<RwLock<FerretService>> {
+    let mut svc = FerretService::in_memory(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    let batch: Vec<_> = generate_mixed_images(n, 11)
+        .into_iter()
+        .map(|(id, obj)| (id, obj, None))
+        .collect();
+    svc.insert_batch(batch).unwrap();
+    svc.enable_telemetry(Arc::new(MetricsRegistry::new()));
+    Arc::new(RwLock::new(svc))
+}
+
+fn start_server(svc: &Arc<RwLock<FerretService>>) -> Server {
+    let registry = svc.read().telemetry().cloned();
+    let config = ServeConfig {
+        workers: 8,
+        queue_depth: 16,
+        max_inflight: 16,
+        hold: None,
+    };
+    let admission = Arc::new(AdmissionControl::new(
+        config.max_inflight,
+        registry.as_ref(),
+    ));
+    Server::start_with(Arc::clone(svc), "127.0.0.1:0", config, admission).unwrap()
+}
+
+/// Wall-clock seconds for `clients` connections to run
+/// `QUERIES_PER_CLIENT` queries each; returns aggregate queries/second.
+fn throughput(addr: std::net::SocketAddr, clients: usize) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..QUERIES_PER_CLIENT {
+                    let reply = client.send(QUERY).unwrap();
+                    assert!(reply.starts_with("OK"), "{reply}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (clients * QUERIES_PER_CLIENT) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_tcp_round_trip(c: &mut Criterion) {
+    let svc = shared_service(DATASET);
+    let server = start_server(&svc);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("tcp_query_round_trip", |b| {
+        b.iter(|| black_box(client.send(QUERY).unwrap()));
+    });
+    group.finish();
+    drop(client);
+    server.stop();
+}
+
+fn write_json() -> std::io::Result<()> {
+    let svc = shared_service(DATASET);
+    let server = start_server(&svc);
+    let addr = server.addr();
+    // Warm-up: populate caches and the sketch scan paths once.
+    throughput(addr, 1);
+
+    let mut rows = Vec::new();
+    let mut base = 0.0f64;
+    for clients in [1usize, 2, 4] {
+        let qps = throughput(addr, clients);
+        if clients == 1 {
+            base = qps;
+        }
+        let speedup = if base > 0.0 { qps / base } else { 0.0 };
+        rows.push(format!(
+            "    {{\"clients\": {clients}, \"queries_per_sec\": {qps:.1}, \"speedup_vs_1\": {speedup:.2}}}"
+        ));
+    }
+    let registry = svc.read().telemetry().cloned().unwrap();
+    let peak = registry
+        .gauge("ferret_inflight_queries_peak", "", &[])
+        .get();
+    server.stop();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let out = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"host_cores\": {cores},\n  \"dataset_objects\": {DATASET},\n  \"query\": \"{QUERY}\",\n  \"queries_per_client\": {QUERIES_PER_CLIENT},\n  \"peak_inflight_queries\": {peak},\n  \"throughput\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serving.json");
+    std::fs::write(&path, out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+criterion_group!(benches, bench_tcp_round_trip);
+
+fn main() {
+    benches();
+    if let Err(e) = write_json() {
+        eprintln!("could not write BENCH_serving.json: {e}");
+    }
+}

@@ -29,15 +29,13 @@ fn engine_with(n: usize) -> SearchEngine {
 }
 
 fn query_options() -> QueryOptions {
-    QueryOptions {
-        k: 10,
-        filter: FilterParams {
+    QueryOptions::default()
+        .with_k(10)
+        .with_filter(FilterParams {
             query_segments: 2,
             candidates_per_segment: 40,
             ..FilterParams::default()
-        },
-        ..QueryOptions::default()
-    }
+        })
 }
 
 fn bench_query_overhead(c: &mut Criterion) {

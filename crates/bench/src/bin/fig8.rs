@@ -121,12 +121,10 @@ fn main() {
                 QueryMode::BruteForceSketch,
                 QueryMode::Filtering,
             ] {
-                let options = QueryOptions {
-                    k: 10,
-                    mode,
-                    filter: panel.filter.clone(),
-                    ..QueryOptions::default()
-                };
+                let options = QueryOptions::default()
+                    .with_k(10)
+                    .with_mode(mode)
+                    .with_filter(panel.filter.clone());
                 let mean = mean_query_time(&engine, &options, num_queries);
                 csv.push_str(&format!(
                     "{},{n},{mode},{:.6}\n",

@@ -121,7 +121,20 @@ impl EngineConfig {
 }
 
 /// Per-query options.
+///
+/// Marked `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream crates: construct via [`QueryOptions::default`] or the named
+/// constructors, then refine with the fluent `with_*` methods.
+///
+/// ```
+/// use ferret_core::engine::{QueryMode, QueryOptions};
+/// let opts = QueryOptions::default()
+///     .with_k(5)
+///     .with_mode(QueryMode::BruteForceOriginal);
+/// assert_eq!(opts.k, 5);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct QueryOptions {
     /// Number of results to return.
     pub k: usize,
@@ -177,6 +190,36 @@ impl QueryOptions {
             filter,
             ..Self::default()
         }
+    }
+
+    /// Sets the number of results to return.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the traversal mode.
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the filtering parameters (used in [`QueryMode::Filtering`]).
+    pub fn with_filter(mut self, filter: FilterParams) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Restricts the search to `ids` (e.g. an attribute-search result).
+    pub fn with_restrict(mut self, ids: HashSet<ObjectId>) -> Self {
+        self.restrict = Some(ids);
+        self
+    }
+
+    /// Overrides the query object's segment weights.
+    pub fn with_weights(mut self, weights: Vec<f32>) -> Self {
+        self.weight_override = Some(weights);
+        self
     }
 }
 

@@ -78,6 +78,12 @@ impl Gauge {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises the gauge to `v` if `v` exceeds the current value (a
+    /// high-watermark update, e.g. peak concurrent queries).
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

@@ -1,0 +1,202 @@
+//! Admission control for concurrent query serving.
+//!
+//! The paper runs Ferret "as a server" for many clients (§4.1.4); under
+//! heavy multi-user traffic an unbounded server melts down instead of
+//! degrading. [`AdmissionControl`] caps the number of in-flight queries
+//! across every serving surface (TCP protocol and HTTP): a query either
+//! gets a slot immediately or is rejected with a `BUSY` protocol error /
+//! HTTP 503, so overload produces fast feedback instead of an unbounded
+//! queue. The cap is shared — handing one controller to both servers
+//! bounds the whole process.
+//!
+//! Telemetry (when a registry is attached):
+//! * `ferret_inflight_queries` — gauge, queries currently executing.
+//! * `ferret_inflight_queries_peak` — gauge, high watermark of the above.
+//! * `ferret_rejected_total` — counter, queries refused by admission.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ferret_core::telemetry::{Counter, Gauge, MetricsRegistry};
+
+/// Caps concurrently executing queries; see the module docs.
+pub struct AdmissionControl {
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    /// Cached metric handles (updates are lock-free).
+    inflight_gauge: Option<Arc<Gauge>>,
+    peak_gauge: Option<Arc<Gauge>>,
+    rejected: Option<Arc<Counter>>,
+}
+
+impl AdmissionControl {
+    /// Creates a controller admitting at most `max_inflight` concurrent
+    /// queries (`0` is treated as unlimited). With a registry, the
+    /// in-flight/peak gauges and rejection counter are registered eagerly
+    /// so `/metrics` exposes the series from the first scrape.
+    pub fn new(max_inflight: usize, registry: Option<&Arc<MetricsRegistry>>) -> Self {
+        let inflight_gauge = registry.map(|reg| {
+            reg.gauge(
+                "ferret_inflight_queries",
+                "Queries currently executing across all serving surfaces.",
+                &[],
+            )
+        });
+        let peak_gauge = registry.map(|reg| {
+            reg.gauge(
+                "ferret_inflight_queries_peak",
+                "High watermark of concurrently executing queries.",
+                &[],
+            )
+        });
+        let rejected = registry.map(|reg| {
+            reg.counter(
+                "ferret_rejected_total",
+                "Queries rejected by admission control (BUSY / HTTP 503).",
+                &[],
+            )
+        });
+        Self {
+            max_inflight,
+            inflight: AtomicUsize::new(0),
+            inflight_gauge,
+            peak_gauge,
+            rejected,
+        }
+    }
+
+    /// The configured limit (`0` = unlimited).
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Queries executing right now.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Tries to admit one query. `None` means the server is saturated and
+    /// the caller must answer `BUSY`/503; `Some` holds the slot until the
+    /// guard drops.
+    pub fn try_admit(self: &Arc<Self>) -> Option<AdmissionGuard> {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if self.max_inflight != 0 && current >= self.max_inflight {
+                if let Some(c) = &self.rejected {
+                    c.inc();
+                }
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        let now = current as i64 + 1;
+        if let Some(g) = &self.inflight_gauge {
+            g.set(self.inflight.load(Ordering::Relaxed) as i64);
+        }
+        if let Some(g) = &self.peak_gauge {
+            g.fetch_max(now);
+        }
+        Some(AdmissionGuard {
+            control: Arc::clone(self),
+        })
+    }
+}
+
+/// An admitted query's slot; releases it (and updates the in-flight
+/// gauge) on drop.
+pub struct AdmissionGuard {
+    control: Arc<AdmissionControl>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        let before = self.control.inflight.fetch_sub(1, Ordering::AcqRel);
+        if let Some(g) = &self.control.inflight_gauge {
+            g.set(before.saturating_sub(1) as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_limit_then_rejects() {
+        let ctl = Arc::new(AdmissionControl::new(2, None));
+        let a = ctl.try_admit().expect("first");
+        let b = ctl.try_admit().expect("second");
+        assert!(ctl.try_admit().is_none(), "third must be rejected");
+        assert_eq!(ctl.inflight(), 2);
+        drop(a);
+        let c = ctl.try_admit().expect("slot freed");
+        assert_eq!(ctl.inflight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(ctl.inflight(), 0);
+    }
+
+    #[test]
+    fn zero_limit_is_unlimited() {
+        let ctl = Arc::new(AdmissionControl::new(0, None));
+        let guards: Vec<_> = (0..100).map(|_| ctl.try_admit().unwrap()).collect();
+        assert_eq!(ctl.inflight(), 100);
+        drop(guards);
+        assert_eq!(ctl.inflight(), 0);
+    }
+
+    #[test]
+    fn telemetry_tracks_inflight_peak_and_rejections() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let ctl = Arc::new(AdmissionControl::new(2, Some(&reg)));
+        // Eager registration: series exist before any traffic.
+        let gauge = reg.gauge("ferret_inflight_queries", "", &[]);
+        let peak = reg.gauge("ferret_inflight_queries_peak", "", &[]);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(reg.counter_value("ferret_rejected_total", &[]), Some(0));
+
+        let a = ctl.try_admit().unwrap();
+        let b = ctl.try_admit().unwrap();
+        assert!(ctl.try_admit().is_none());
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(peak.get(), 2);
+        assert_eq!(reg.counter_value("ferret_rejected_total", &[]), Some(1));
+        drop(a);
+        drop(b);
+        assert_eq!(gauge.get(), 0);
+        // Peak watermark survives the drain.
+        assert_eq!(peak.get(), 2);
+    }
+
+    #[test]
+    fn concurrent_admission_never_exceeds_limit() {
+        let ctl = Arc::new(AdmissionControl::new(4, None));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let ctl = Arc::clone(&ctl);
+                let max_seen = Arc::clone(&max_seen);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(_guard) = ctl.try_admit() {
+                            let now = ctl.inflight();
+                            max_seen.fetch_max(now, Ordering::Relaxed);
+                            assert!(now <= 4, "inflight {now} exceeded limit");
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ctl.inflight(), 0);
+        assert!(max_seen.load(Ordering::Relaxed) >= 1);
+    }
+}

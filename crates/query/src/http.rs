@@ -17,10 +17,12 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use crate::admission::AdmissionControl;
+use crate::server::{ConnQueue, ServeConfig};
 use crate::service::{FerretService, Response};
 
 /// Percent-decodes a URL component (`%41` → `A`, `+` → space).
@@ -123,9 +125,23 @@ fn http_reply(status: &str, content_type: &str, body: &str) -> String {
     )
 }
 
-/// Routes one HTTP request path (with query string) to a JSON/HTML reply.
+/// Routes one HTTP request path (with query string) to a JSON/HTML reply,
+/// without admission control (every query is executed).
 pub fn route(
     service: &Arc<RwLock<FerretService>>,
+    path_and_query: &str,
+) -> (String, String, String) {
+    route_with(service, None, None, path_and_query)
+}
+
+/// Routes one HTTP request with optional admission control for `/search`
+/// (a saturated server answers 503 instead of queueing) and an optional
+/// artificial per-query hold (load-testing knob; see
+/// [`ServeConfig::hold`]).
+pub fn route_with(
+    service: &Arc<RwLock<FerretService>>,
+    admission: Option<&Arc<AdmissionControl>>,
+    hold: Option<Duration>,
     path_and_query: &str,
 ) -> (String, String, String) {
     let (path, qs) = match path_and_query.split_once('?') {
@@ -164,10 +180,10 @@ pub fn route(
             let svc = service.read();
             let found = match get("id") {
                 Some(raw) => match raw.parse::<u64>() {
-                    Ok(id) => svc.trace(id).map(|t| (id, t.clone())),
+                    Ok(id) => svc.trace(id).map(|t| (id, t)),
                     Err(_) => return error_json("invalid id parameter"),
                 },
-                None => svc.last_trace().map(|(id, t)| (id, t.clone())),
+                None => svc.last_trace(),
             };
             match found {
                 Some((id, trace)) => (
@@ -183,8 +199,8 @@ pub fn route(
             }
         }
         "/stat" => {
-            let mut svc = service.write();
-            match svc.execute(&crate::protocol::Command::Stat) {
+            let svc = service.read();
+            match svc.execute_read(&crate::protocol::Command::Stat) {
                 Ok(resp) => (
                     "200 OK".into(),
                     "application/json".into(),
@@ -197,8 +213,8 @@ pub fn route(
             let Some(q) = get("q") else {
                 return error_json("missing q parameter");
             };
-            let mut svc = service.write();
-            match svc.execute(&crate::protocol::Command::Attr { expression: q }) {
+            let svc = service.read();
+            match svc.execute_read(&crate::protocol::Command::Attr { expression: q }) {
                 Ok(resp) => (
                     "200 OK".into(),
                     "application/json".into(),
@@ -225,8 +241,29 @@ pub fn route(
             }
             match crate::protocol::parse_command(&line) {
                 Ok(cmd) => {
-                    let mut svc = service.write();
-                    match svc.execute(&cmd) {
+                    // Similarity queries are what admission control
+                    // meters; a saturated server answers 503 at once.
+                    let _slot = match admission {
+                        Some(ctl) => match ctl.try_admit() {
+                            Some(guard) => Some(guard),
+                            None => {
+                                return (
+                                    "503 Service Unavailable".into(),
+                                    "application/json".into(),
+                                    "{\"ok\":false,\"error\":\"BUSY too many in-flight queries, retry later\"}"
+                                        .into(),
+                                )
+                            }
+                        },
+                        None => None,
+                    };
+                    let svc = service.read();
+                    let result = svc.execute_read(&cmd);
+                    drop(svc);
+                    if let Some(hold) = hold {
+                        std::thread::sleep(hold);
+                    }
+                    match result {
                         Ok(resp) => (
                             "200 OK".into(),
                             "application/json".into(),
@@ -261,26 +298,85 @@ pub struct HttpServer {
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Everything an HTTP worker needs to serve requests.
+struct HttpContext {
+    service: Arc<RwLock<FerretService>>,
+    admission: Arc<AdmissionControl>,
+    hold: Option<Duration>,
+}
+
 impl HttpServer {
-    /// Starts the web interface on `addr` (port 0 for ephemeral).
+    /// Starts the web interface on `addr` (port 0 for ephemeral) with a
+    /// default [`ServeConfig`] and a private admission controller.
     pub fn start(service: Arc<RwLock<FerretService>>, addr: &str) -> std::io::Result<Self> {
+        let config = ServeConfig::default();
+        let registry = service.read().telemetry().cloned();
+        let admission = Arc::new(AdmissionControl::new(
+            config.max_inflight,
+            registry.as_ref(),
+        ));
+        Self::start_with(service, addr, config, admission)
+    }
+
+    /// Starts the web interface with an explicit configuration and
+    /// admission controller. Pass the TCP server's controller to cap
+    /// in-flight queries across both surfaces.
+    pub fn start_with(
+        service: Arc<RwLock<FerretService>>,
+        addr: &str,
+        config: ServeConfig,
+        admission: Arc<AdmissionControl>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = Arc::clone(&shutdown);
-        let handle = std::thread::spawn(move || loop {
-            if stop.load(Ordering::SeqCst) {
-                break;
+        let context = Arc::new(HttpContext {
+            service,
+            admission,
+            hold: config.hold,
+        });
+        let queue = Arc::new(ConnQueue::new(config.queue_depth));
+        let workers = config.workers.max(1);
+        let handle = std::thread::spawn(move || {
+            let pool: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queue = Arc::clone(&queue);
+                    let stop = Arc::clone(&stop);
+                    let ctx = Arc::clone(&context);
+                    std::thread::spawn(move || {
+                        while let Some(stream) = queue.pop(&stop) {
+                            let _ = serve_one(stream, &ctx);
+                        }
+                    })
+                })
+                .collect();
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Err(mut rejected) = queue.push(stream) {
+                            // Connection queue full: fast 503, then close.
+                            let reply = http_reply(
+                                "503 Service Unavailable",
+                                "application/json",
+                                "{\"ok\":false,\"error\":\"server overloaded\"}",
+                            );
+                            let _ = rejected.write_all(reply.as_bytes());
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
             }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = serve_one(stream, &service);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(std::time::Duration::from_millis(5));
-                }
-                Err(_) => break,
+            queue.notify_all();
+            for w in pool {
+                let _ = w.join();
             }
         });
         Ok(Self {
@@ -328,7 +424,8 @@ fn endpoint_label(path: &str) -> &'static str {
     }
 }
 
-fn serve_one(stream: TcpStream, service: &Arc<RwLock<FerretService>>) -> std::io::Result<()> {
+fn serve_one(stream: TcpStream, context: &HttpContext) -> std::io::Result<()> {
+    let service = &context.service;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
@@ -366,7 +463,8 @@ fn serve_one(stream: TcpStream, service: &Arc<RwLock<FerretService>>) -> std::io
         let target = target.expect("well-formed request has a target");
         let registry = service.read().telemetry().cloned();
         let start = registry.is_some().then(Instant::now);
-        let (status, ctype, body) = route(service, target);
+        let (status, ctype, body) =
+            route_with(service, Some(&context.admission), context.hold, target);
         if let (Some(reg), Some(start)) = (registry, start) {
             let path = target.split_once('?').map_or(target, |(p, _)| p);
             let endpoint = endpoint_label(path);
@@ -559,6 +657,30 @@ mod tests {
         assert!(raw_request(addr, "POST /stat HTTP/1.1\r\n\r\n").contains("405"));
         assert!(raw_request(addr, "GET /nope HTTP/1.1\r\n\r\n").contains("404"));
         server.stop();
+    }
+
+    #[test]
+    fn saturated_search_gets_503_then_recovers() {
+        let svc = service();
+        let registry = Arc::new(ferret_core::telemetry::MetricsRegistry::new());
+        svc.write().enable_telemetry(Arc::clone(&registry));
+        let admission = Arc::new(AdmissionControl::new(1, Some(&registry)));
+        let held = admission.try_admit().unwrap();
+        let (status, _, body) =
+            route_with(&svc, Some(&admission), None, "/search?id=0&k=2&mode=brute");
+        assert_eq!(status, "503 Service Unavailable");
+        assert!(body.contains("BUSY"), "{body}");
+        // Non-query endpoints are never metered by admission.
+        let (status, _, _) = route_with(&svc, Some(&admission), None, "/stat");
+        assert_eq!(status, "200 OK");
+        drop(held);
+        let (status, _, _) =
+            route_with(&svc, Some(&admission), None, "/search?id=0&k=2&mode=brute");
+        assert_eq!(status, "200 OK");
+        assert_eq!(
+            registry.counter_value("ferret_rejected_total", &[]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -27,12 +27,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod http;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
+pub use admission::{AdmissionControl, AdmissionGuard};
 pub use http::HttpServer;
-pub use protocol::{parse_command, Command, ProtocolError, HELP_TEXT};
-pub use server::{Client, Server};
-pub use service::{FerretService, Response, ServiceError, FEATURES_TABLE};
+pub use protocol::{
+    parse_command, render_error, render_response, Command, ProtocolError, BUSY_LINE, HELP_TEXT,
+};
+pub use server::{Client, ServeConfig, Server};
+pub use service::{
+    FerretService, Response, ServiceBuilder, ServiceError, DEFAULT_TRACE_CAPACITY, FEATURES_TABLE,
+};

@@ -53,6 +53,99 @@ pub enum Command {
     Quit,
 }
 
+impl Command {
+    /// True for commands that only read service state.
+    ///
+    /// This classification is the serving concurrency contract: read
+    /// commands execute through `FerretService::execute_read(&self)` under
+    /// a shared (`RwLock::read`) lock, so any number of connections can
+    /// run them at once; write commands take the exclusive lock.
+    pub fn is_read(&self) -> bool {
+        match self {
+            Command::Query { .. } | Command::Attr { .. } => true,
+            Command::Stat | Command::Help | Command::Quit => true,
+            Command::Delete { .. } => false,
+        }
+    }
+}
+
+/// A structured command response, renderable as protocol text (see
+/// [`render_response`]) or JSON (`http::response_to_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ranked similarity results: `(id, distance)`.
+    Results(Vec<(ObjectId, f64)>),
+    /// Attribute search hits.
+    Ids(Vec<ObjectId>),
+    /// Statistics summary.
+    Stat {
+        /// Stored objects.
+        objects: usize,
+        /// Stored segments.
+        segments: usize,
+        /// Sketch metadata bytes.
+        sketch_bytes: usize,
+        /// Feature-vector metadata bytes.
+        feature_bytes: usize,
+    },
+    /// Help text.
+    Help,
+    /// Session close acknowledgment.
+    Bye,
+    /// Generic acknowledgment.
+    Ok,
+}
+
+/// Renders a [`Response`] in the line protocol's text form: one
+/// `OK`/`ERR` status line plus payload lines.
+pub fn render_response(resp: &Response) -> String {
+    match resp {
+        Response::Results(results) => {
+            let mut out = format!("OK {}\n", results.len());
+            for (id, d) in results {
+                out.push_str(&format!("{} {:.6}\n", id.0, d));
+            }
+            out
+        }
+        Response::Ids(ids) => {
+            let mut out = format!("OK {}\n", ids.len());
+            for id in ids {
+                out.push_str(&format!("{}\n", id.0));
+            }
+            out
+        }
+        Response::Stat {
+            objects,
+            segments,
+            sketch_bytes,
+            feature_bytes,
+        } => {
+            format!(
+                "OK 4\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\n"
+            )
+        }
+        Response::Help => format!("OK help\n{HELP_TEXT}\n"),
+        Response::Bye => "OK bye\n".to_string(),
+        Response::Ok => "OK\n".to_string(),
+    }
+}
+
+/// Renders an error in the line protocol's text form (`ERR <message>`).
+pub fn render_error(message: &dyn std::fmt::Display) -> String {
+    format!("ERR {message}\n")
+}
+
+/// The protocol line an overloaded server answers with when admission
+/// control rejects a query (clients should back off and retry).
+pub const BUSY_LINE: &str = "ERR BUSY too many in-flight queries, retry later\n";
+
+impl Response {
+    /// Renders the protocol text form ([`render_response`]).
+    pub fn render(&self) -> String {
+        render_response(self)
+    }
+}
+
 /// A protocol parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError(pub String);

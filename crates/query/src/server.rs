@@ -2,17 +2,182 @@
 //!
 //! "When the core components of the toolkit run as a server, we found it
 //! very convenient to allow clients to issue queries" (paper §4.1.4). The
-//! server speaks the command-line protocol over TCP, one command per line,
-//! one thread per connection over a shared service.
+//! server speaks the command-line protocol over TCP with a **bounded
+//! worker pool** over a shared service:
+//!
+//! * Commands are classified read vs. write ([`Command::is_read`]). Reads
+//!   execute through [`FerretService::execute_read`] under
+//!   `RwLock::read()`, so N connections run N queries concurrently —
+//!   each still using the engine's sharded scan internally. Only writes
+//!   (`delete`) take the exclusive lock.
+//! * A fixed number of worker threads ([`ServeConfig::workers`]) serve
+//!   connections from a bounded queue ([`ServeConfig::queue_depth`]);
+//!   when the queue is full, new connections get one `BUSY` line and are
+//!   closed instead of piling up.
+//! * Admission control ([`AdmissionControl`]) caps in-flight queries
+//!   across the process; a saturated server answers `BUSY` immediately
+//!   rather than queueing forever.
+//! * Shutdown drains gracefully: workers finish the command in flight,
+//!   then close their connections.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
+use ferret_core::telemetry::MetricsRegistry;
+
+use crate::admission::AdmissionControl;
+use crate::protocol::{parse_command, render_error, render_response, Command, BUSY_LINE};
 use crate::service::FerretService;
+
+/// Serving configuration shared by the TCP and HTTP servers.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving connections. A connection occupies its
+    /// worker until it disconnects, so this also bounds concurrently
+    /// *connected* clients.
+    pub workers: usize,
+    /// Connections allowed to wait for a free worker before new arrivals
+    /// are turned away with a `BUSY` line.
+    pub queue_depth: usize,
+    /// Maximum queries executing at once across all connections
+    /// (`0` = unlimited); excess queries get `BUSY`/503.
+    pub max_inflight: usize,
+    /// Artificial latency injected per admitted query (slot held while
+    /// sleeping) — a load/soak-testing knob, `None` in production.
+    pub hold: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(4);
+        Self {
+            workers,
+            queue_depth: 4 * workers,
+            max_inflight: 4 * workers,
+            hold: None,
+        }
+    }
+}
+
+/// Shared state between an accept loop and its connection workers
+/// (used by both the TCP and HTTP servers).
+pub(crate) struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    pub(crate) fn new(depth: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues a connection; on a full queue the stream is handed back
+    /// so the caller can reject it.
+    pub(crate) fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        if q.len() >= self.depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Wakes every waiting worker (used during shutdown).
+    pub(crate) fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+
+    /// Pops the next connection, or `None` once `shutdown` is set.
+    pub(crate) fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("queue poisoned");
+            q = guard;
+        }
+    }
+}
+
+/// Everything a connection worker needs to serve commands.
+struct ServeContext {
+    service: Arc<RwLock<FerretService>>,
+    admission: Arc<AdmissionControl>,
+    registry: Option<Arc<MetricsRegistry>>,
+    hold: Option<Duration>,
+}
+
+impl ServeContext {
+    fn observe_lock_wait(&self, lock: &str, waited: Duration) {
+        if let Some(reg) = &self.registry {
+            reg.observe_latency(
+                "ferret_lock_wait_seconds",
+                "Time spent waiting for the service lock, by lock kind.",
+                &[("lock", lock)],
+                waited,
+            );
+        }
+    }
+
+    /// Executes one parsed command with read/write dispatch, admission
+    /// control, and lock-wait accounting; returns the rendered reply.
+    fn dispatch(&self, command: &Command) -> String {
+        if command.is_read() {
+            // Similarity queries are the expensive reads; they are the
+            // unit admission control meters.
+            let _slot = if matches!(command, Command::Query { .. }) {
+                match self.admission.try_admit() {
+                    Some(guard) => Some(guard),
+                    None => return BUSY_LINE.to_string(),
+                }
+            } else {
+                None
+            };
+            let start = Instant::now();
+            let svc = self.service.read();
+            self.observe_lock_wait("read", start.elapsed());
+            let reply = match svc.execute_read(command) {
+                Ok(resp) => render_response(&resp),
+                Err(e) => render_error(&e),
+            };
+            drop(svc);
+            if let (Some(hold), Command::Query { .. }) = (self.hold, command) {
+                std::thread::sleep(hold);
+            }
+            reply
+        } else {
+            let start = Instant::now();
+            let mut svc = self.service.write();
+            self.observe_lock_wait("write", start.elapsed());
+            match svc.execute(command) {
+                Ok(resp) => render_response(&resp),
+                Err(e) => render_error(&e),
+            }
+        }
+    }
+}
 
 /// A running TCP server.
 pub struct Server {
@@ -23,35 +188,74 @@ pub struct Server {
 
 impl Server {
     /// Starts serving `service` on `addr` (use port 0 for an ephemeral
-    /// port). Returns once the listener is bound.
+    /// port) with default [`ServeConfig`] and a private admission
+    /// controller. Returns once the listener is bound.
     pub fn start(service: Arc<RwLock<FerretService>>, addr: &str) -> std::io::Result<Self> {
+        let config = ServeConfig::default();
+        let registry = service.read().telemetry().cloned();
+        let admission = Arc::new(AdmissionControl::new(
+            config.max_inflight,
+            registry.as_ref(),
+        ));
+        Self::start_with(service, addr, config, admission)
+    }
+
+    /// Starts serving with an explicit configuration and admission
+    /// controller. Pass the same controller to the HTTP server to cap
+    /// in-flight queries across both surfaces.
+    pub fn start_with(
+        service: Arc<RwLock<FerretService>>,
+        addr: &str,
+        config: ServeConfig,
+        admission: Arc<AdmissionControl>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_accept = Arc::clone(&shutdown);
+        let registry = service.read().telemetry().cloned();
+        let context = Arc::new(ServeContext {
+            service,
+            admission,
+            registry,
+            hold: config.hold,
+        });
+        let queue = Arc::new(ConnQueue::new(config.queue_depth));
         // Nonblocking accept loop so shutdown is prompt.
         listener.set_nonblocking(true)?;
+        let workers = config.workers.max(1);
         let handle = std::thread::spawn(move || {
-            let mut workers = Vec::new();
+            let pool: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queue = Arc::clone(&queue);
+                    let stop = Arc::clone(&shutdown_accept);
+                    let ctx = Arc::clone(&context);
+                    std::thread::spawn(move || {
+                        while let Some(stream) = queue.pop(&stop) {
+                            let _ = handle_connection(stream, &ctx, &stop);
+                        }
+                    })
+                })
+                .collect();
             loop {
                 if shutdown_accept.load(Ordering::SeqCst) {
                     break;
                 }
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let svc = Arc::clone(&service);
-                        let stop = Arc::clone(&shutdown_accept);
-                        workers.push(std::thread::spawn(move || {
-                            let _ = handle_connection(stream, svc, stop);
-                        }));
+                        if let Err(mut rejected) = queue.push(stream) {
+                            // Queue full: one BUSY line, then close.
+                            let _ = rejected.write_all(BUSY_LINE.as_bytes());
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        std::thread::sleep(Duration::from_millis(5));
                     }
                     Err(_) => break,
                 }
             }
-            for w in workers {
+            queue.notify_all();
+            for w in pool {
                 let _ = w.join();
             }
         });
@@ -67,7 +271,8 @@ impl Server {
         self.addr
     }
 
-    /// Signals shutdown and joins the accept loop.
+    /// Signals shutdown and joins the accept loop and workers (graceful
+    /// drain: each worker finishes the command in flight first).
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
@@ -87,12 +292,12 @@ impl Drop for Server {
 
 fn handle_connection(
     stream: TcpStream,
-    service: Arc<RwLock<FerretService>>,
-    shutdown: Arc<AtomicBool>,
+    context: &ServeContext,
+    shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .set_read_timeout(Some(Duration::from_millis(200)))
         .ok();
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -110,7 +315,12 @@ fn handle_connection(
                 if trimmed.is_empty() {
                     continue;
                 }
-                let reply = service.write().execute_line(trimmed);
+                // Parse outside any lock; only execution needs the
+                // service.
+                let reply = match parse_command(trimmed) {
+                    Ok(cmd) => context.dispatch(&cmd),
+                    Err(e) => render_error(&e),
+                };
                 writer.write_all(reply.as_bytes())?;
                 writer.flush()?;
                 if reply.starts_with("OK bye") {
@@ -255,6 +465,81 @@ mod tests {
         let mut client = Client::connect(server.addr()).unwrap();
         assert_eq!(client.send("delete id=4").unwrap(), "OK\n");
         assert_eq!(svc.read().engine().len(), 4);
+        server.stop();
+    }
+
+    #[test]
+    fn saturated_admission_returns_busy_not_a_hang() {
+        let svc = service();
+        let registry = Arc::new(ferret_core::telemetry::MetricsRegistry::new());
+        svc.write().enable_telemetry(Arc::clone(&registry));
+        let admission = Arc::new(AdmissionControl::new(1, Some(&registry)));
+        let config = ServeConfig {
+            workers: 4,
+            queue_depth: 8,
+            max_inflight: 1,
+            hold: Some(Duration::from_millis(400)),
+        };
+        let server =
+            Server::start_with(Arc::clone(&svc), "127.0.0.1:0", config, admission).unwrap();
+        let addr = server.addr();
+
+        // One client occupies the single slot for ≥400ms...
+        let slow = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.send("query id=0 k=2 mode=brute").unwrap()
+        });
+        // ...while a second keeps trying until it gets turned away. The
+        // reply must come back promptly (BUSY, not a queued hang).
+        let mut fast = Client::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut saw_busy = false;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            let reply = fast.send("query id=1 k=1 mode=brute").unwrap();
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "reply took {:?}",
+                start.elapsed()
+            );
+            if reply.starts_with("ERR BUSY") {
+                saw_busy = true;
+                break;
+            }
+            assert!(reply.starts_with("OK"), "{reply}");
+        }
+        assert!(saw_busy, "saturating the limit never produced BUSY");
+        assert!(slow.join().unwrap().starts_with("OK"));
+        assert!(
+            registry
+                .counter_value("ferret_rejected_total", &[])
+                .unwrap()
+                >= 1
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn non_query_commands_bypass_admission() {
+        let svc = service();
+        let registry = Arc::new(ferret_core::telemetry::MetricsRegistry::new());
+        svc.write().enable_telemetry(Arc::clone(&registry));
+        // A zero-slot controller rejects every query...
+        let admission = Arc::new(AdmissionControl::new(1, Some(&registry)));
+        let _held = admission.try_admit().unwrap();
+        let config = ServeConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_inflight: 1,
+            hold: None,
+        };
+        let server =
+            Server::start_with(Arc::clone(&svc), "127.0.0.1:0", config, admission).unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        // ...but stat/attr/help/delete still work.
+        assert!(client.send("query id=0").unwrap().starts_with("ERR BUSY"));
+        assert!(client.send("stat").unwrap().contains("objects 5"));
+        assert_eq!(client.send("delete id=4").unwrap(), "OK\n");
         server.stop();
     }
 }

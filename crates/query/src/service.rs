@@ -11,6 +11,8 @@
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use ferret_attr::{AttrStore, Attributes};
 use ferret_core::codec::{decode_object, encode_object};
 use ferret_core::engine::{EngineConfig, QueryOptions, QueryResponse, SearchEngine};
@@ -18,9 +20,11 @@ use ferret_core::error::CoreError;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::parallel::Parallelism;
 use ferret_core::telemetry::{MetricsRegistry, QueryTrace, Unit, SIZE_BUCKETS};
-use ferret_store::{Database, DbOptions, StoreError};
+use ferret_store::{Database, DbOptions, StoreError, Vfs};
 
-use crate::protocol::{Command, ProtocolError, HELP_TEXT};
+use crate::protocol::{Command, ProtocolError};
+
+pub use crate::protocol::Response;
 
 /// The table original feature-vector metadata lives in.
 pub const FEATURES_TABLE: &str = "features";
@@ -66,121 +70,148 @@ impl From<ProtocolError> for ServiceError {
     }
 }
 
-/// A structured command response, renderable as protocol text.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Response {
-    /// Ranked similarity results: `(id, distance)`.
-    Results(Vec<(ObjectId, f64)>),
-    /// Attribute search hits.
-    Ids(Vec<ObjectId>),
-    /// Statistics summary.
-    Stat {
-        /// Stored objects.
-        objects: usize,
-        /// Stored segments.
-        segments: usize,
-        /// Sketch metadata bytes.
-        sketch_bytes: usize,
-        /// Feature-vector metadata bytes.
-        feature_bytes: usize,
-    },
-    /// Help text.
-    Help,
-    /// Session close acknowledgment.
-    Bye,
-    /// Generic acknowledgment.
-    Ok,
+/// How many recent query traces the service retains for `/trace` by
+/// default (configurable through [`ServiceBuilder::trace_capacity`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 16;
+
+/// The bounded ring of recent query traces, keyed by a monotonically
+/// increasing trace id. Lives behind a [`Mutex`] inside the service so
+/// the read-only query path (`&self`) can record traces concurrently.
+struct TraceRing {
+    traces: VecDeque<(u64, QueryTrace)>,
+    next_id: u64,
+    capacity: usize,
 }
 
-impl Response {
-    /// Renders the protocol text form (one `OK`/`ERR` status line plus
-    /// payload lines).
-    pub fn render(&self) -> String {
-        match self {
-            Response::Results(results) => {
-                let mut out = format!("OK {}\n", results.len());
-                for (id, d) in results {
-                    out.push_str(&format!("{} {:.6}\n", id.0, d));
-                }
-                out
-            }
-            Response::Ids(ids) => {
-                let mut out = format!("OK {}\n", ids.len());
-                for id in ids {
-                    out.push_str(&format!("{}\n", id.0));
-                }
-                out
-            }
-            Response::Stat {
-                objects,
-                segments,
-                sketch_bytes,
-                feature_bytes,
-            } => {
-                format!(
-                    "OK 4\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\n"
-                )
-            }
-            Response::Help => format!("OK help\n{HELP_TEXT}\n"),
-            Response::Bye => "OK bye\n".to_string(),
-            Response::Ok => "OK\n".to_string(),
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            traces: VecDeque::new(),
+            next_id: 0,
+            capacity,
         }
+    }
+
+    fn record(&mut self, trace: QueryTrace) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        if self.capacity == 0 {
+            return id;
+        }
+        if self.traces.len() == self.capacity {
+            self.traces.pop_front();
+        }
+        self.traces.push_back((id, trace));
+        id
     }
 }
 
-/// How many recent query traces the service retains for `/trace`.
-const TRACE_RING_CAPACITY: usize = 16;
-
-/// The composed search service.
-pub struct FerretService {
-    engine: SearchEngine,
-    attrs: AttrStore,
-    db: Option<Database>,
+/// Configures and builds a [`FerretService`]: engine configuration plus
+/// every optional knob (persistence options, VFS, telemetry registry,
+/// parallelism, trace-ring capacity) in one place.
+///
+/// This is the single construction surface; `FerretService::{in_memory,
+/// open, open_with_vfs}` are thin wrappers over it.
+///
+/// ```
+/// use ferret_core::engine::EngineConfig;
+/// use ferret_core::sketch::SketchParams;
+/// use ferret_query::ServiceBuilder;
+///
+/// let config = EngineConfig::basic(
+///     SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(), 1);
+/// let service = ServiceBuilder::new(config).build_in_memory();
+/// assert!(service.engine().is_empty());
+/// ```
+pub struct ServiceBuilder {
+    config: EngineConfig,
+    db_options: DbOptions,
+    vfs: Option<Arc<dyn Vfs>>,
     telemetry: Option<Arc<MetricsRegistry>>,
-    /// Recent query traces, newest last, keyed by a monotonically
-    /// increasing trace id.
-    traces: VecDeque<(u64, QueryTrace)>,
-    next_trace_id: u64,
+    parallelism: Option<Parallelism>,
+    trace_capacity: usize,
 }
 
-impl FerretService {
-    /// Creates an in-memory service (no persistence).
-    pub fn in_memory(config: EngineConfig) -> Self {
+impl ServiceBuilder {
+    /// Starts a builder from an engine configuration.
+    pub fn new(config: EngineConfig) -> Self {
         Self {
-            engine: SearchEngine::new(config),
-            attrs: AttrStore::new(),
-            db: None,
+            config,
+            db_options: DbOptions::default(),
+            vfs: None,
             telemetry: None,
-            traces: VecDeque::new(),
-            next_trace_id: 0,
+            parallelism: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
+    }
+
+    /// Metadata-store options used when the service is opened
+    /// persistently (ignored by [`ServiceBuilder::build_in_memory`]).
+    pub fn db_options(mut self, options: DbOptions) -> Self {
+        self.db_options = options;
+        self
+    }
+
+    /// Routes all metadata I/O through an explicit [`Vfs`] — this is how
+    /// fault-injection tests fail or tear the service's storage.
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// Enables telemetry from the start: engine and service metrics are
+    /// recorded into `registry` and recent query traces retained.
+    pub fn telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// Overrides the engine parallelism from
+    /// [`EngineConfig::parallelism`].
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// How many recent query traces to retain for `/trace` (0 disables
+    /// retention; ids still advance).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    fn finish(self, engine: SearchEngine, attrs: AttrStore, db: Option<Database>) -> FerretService {
+        let mut svc = FerretService {
+            engine,
+            attrs,
+            db,
+            telemetry: None,
+            traces: Mutex::new(TraceRing::new(self.trace_capacity)),
+        };
+        if let Some(p) = self.parallelism {
+            svc.engine.set_parallelism(p);
+        }
+        if let Some(reg) = self.telemetry {
+            svc.enable_telemetry(reg);
+        }
+        svc
+    }
+
+    /// Builds an in-memory service (no persistence).
+    pub fn build_in_memory(self) -> FerretService {
+        let engine = SearchEngine::new(self.config.clone());
+        self.finish(engine, AttrStore::new(), None)
     }
 
     /// Opens (or creates) a persistent service in `dir`, recovering all
     /// objects and attributes and rebuilding sketches deterministically.
-    pub fn open(
-        dir: &std::path::Path,
-        config: EngineConfig,
-        db_options: DbOptions,
-    ) -> Result<Self, ServiceError> {
-        Self::from_db(Database::open_with(dir, db_options)?, config)
-    }
-
-    /// [`FerretService::open`] over an explicit [`ferret_store::Vfs`] —
-    /// lets fault-injection tests fail or tear the service's metadata I/O.
-    pub fn open_with_vfs(
-        vfs: Arc<dyn ferret_store::Vfs>,
-        dir: &std::path::Path,
-        config: EngineConfig,
-        db_options: DbOptions,
-    ) -> Result<Self, ServiceError> {
-        Self::from_db(Database::open_with_vfs(vfs, dir, db_options)?, config)
-    }
-
-    /// Builds the service from an already-opened database: decode every
-    /// stored object, rebuild the engine, load attributes.
-    fn from_db(db: Database, config: EngineConfig) -> Result<Self, ServiceError> {
-        let mut engine = SearchEngine::new(config);
+    /// Uses the configured [`Vfs`] when one was set.
+    pub fn open(self, dir: &std::path::Path) -> Result<FerretService, ServiceError> {
+        let db = match &self.vfs {
+            Some(vfs) => Database::open_with_vfs(Arc::clone(vfs), dir, self.db_options)?,
+            None => Database::open_with(dir, self.db_options)?,
+        };
+        let mut engine = SearchEngine::new(self.config.clone());
         let mut recovered = Vec::new();
         for (key, value) in db.iter_table(FEATURES_TABLE) {
             if key.len() != 8 {
@@ -196,14 +227,59 @@ impl FerretService {
         // set goes through the batch-parallel insert path.
         engine.insert_batch(recovered)?;
         let attrs = AttrStore::load(&db)?;
-        Ok(Self {
-            engine,
-            attrs,
-            db: Some(db),
-            telemetry: None,
-            traces: VecDeque::new(),
-            next_trace_id: 0,
-        })
+        Ok(self.finish(engine, attrs, Some(db)))
+    }
+}
+
+/// The composed search service.
+pub struct FerretService {
+    engine: SearchEngine,
+    attrs: AttrStore,
+    db: Option<Database>,
+    telemetry: Option<Arc<MetricsRegistry>>,
+    /// Recent query traces. Behind a mutex so the `&self` read path can
+    /// record traces from many threads at once.
+    traces: Mutex<TraceRing>,
+}
+
+impl FerretService {
+    /// Starts a [`ServiceBuilder`] from an engine configuration.
+    pub fn builder(config: EngineConfig) -> ServiceBuilder {
+        ServiceBuilder::new(config)
+    }
+
+    /// Creates an in-memory service (no persistence). Equivalent to
+    /// `ServiceBuilder::new(config).build_in_memory()`.
+    pub fn in_memory(config: EngineConfig) -> Self {
+        ServiceBuilder::new(config).build_in_memory()
+    }
+
+    /// Opens (or creates) a persistent service in `dir`, recovering all
+    /// objects and attributes and rebuilding sketches deterministically.
+    /// Equivalent to `ServiceBuilder::new(config).db_options(db_options)
+    /// .open(dir)`.
+    pub fn open(
+        dir: &std::path::Path,
+        config: EngineConfig,
+        db_options: DbOptions,
+    ) -> Result<Self, ServiceError> {
+        ServiceBuilder::new(config).db_options(db_options).open(dir)
+    }
+
+    /// [`FerretService::open`] over an explicit [`ferret_store::Vfs`] —
+    /// lets fault-injection tests fail or tear the service's metadata I/O.
+    /// Equivalent to `ServiceBuilder::new(config).vfs(vfs)
+    /// .db_options(db_options).open(dir)`.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &std::path::Path,
+        config: EngineConfig,
+        db_options: DbOptions,
+    ) -> Result<Self, ServiceError> {
+        ServiceBuilder::new(config)
+            .vfs(vfs)
+            .db_options(db_options)
+            .open(dir)
     }
 
     /// Enables telemetry: the engine records per-stage metrics and
@@ -228,27 +304,24 @@ impl FerretService {
     }
 
     /// The most recent retained query trace, with its id.
-    pub fn last_trace(&self) -> Option<(u64, &QueryTrace)> {
-        self.traces.back().map(|(id, t)| (*id, t))
+    pub fn last_trace(&self) -> Option<(u64, QueryTrace)> {
+        let ring = self.traces.lock();
+        ring.traces.back().map(|(id, t)| (*id, t.clone()))
     }
 
     /// A retained query trace by id (ids come from [`Self::last_trace`];
-    /// the ring keeps the 16 most recent).
-    pub fn trace(&self, id: u64) -> Option<&QueryTrace> {
-        self.traces
+    /// the ring keeps the most recent [`DEFAULT_TRACE_CAPACITY`] unless
+    /// configured otherwise).
+    pub fn trace(&self, id: u64) -> Option<QueryTrace> {
+        let ring = self.traces.lock();
+        ring.traces
             .iter()
             .find(|(tid, _)| *tid == id)
-            .map(|(_, t)| t)
+            .map(|(_, t)| t.clone())
     }
 
-    fn record_trace(&mut self, trace: QueryTrace) -> u64 {
-        let id = self.next_trace_id;
-        self.next_trace_id += 1;
-        if self.traces.len() == TRACE_RING_CAPACITY {
-            self.traces.pop_front();
-        }
-        self.traces.push_back((id, trace));
-        id
+    fn record_trace(&self, trace: QueryTrace) -> u64 {
+        self.traces.lock().record(trace)
     }
 
     fn record_store_error(&self, op: &str) {
@@ -459,10 +532,7 @@ impl FerretService {
         Ok(self.engine.query_by_id(seed, &options)?)
     }
 
-    /// Executes one parsed protocol command, recording per-command
-    /// metrics and retaining query traces when telemetry is enabled.
-    pub fn execute(&mut self, command: &Command) -> Result<Response, ServiceError> {
-        let result = self.execute_inner(command);
+    fn record_command(&self, command: &Command, ok: bool) {
         if let Some(reg) = &self.telemetry {
             let name = match command {
                 Command::Query { .. } => "query",
@@ -472,7 +542,7 @@ impl FerretService {
                 Command::Help => "help",
                 Command::Quit => "quit",
             };
-            let outcome = if result.is_ok() { "ok" } else { "error" };
+            let outcome = if ok { "ok" } else { "error" };
             reg.inc_counter(
                 "ferret_commands_total",
                 "Protocol commands executed, by command and outcome.",
@@ -480,10 +550,39 @@ impl FerretService {
                 1,
             );
         }
+    }
+
+    /// Executes one parsed protocol command. This typed entry point is
+    /// the documented public surface: parse with
+    /// [`crate::protocol::parse_command`], execute here, render with
+    /// [`crate::protocol::render_response`].
+    ///
+    /// Read commands ([`Command::is_read`]) are delegated to
+    /// [`FerretService::execute_read`] and never mutate the service;
+    /// callers holding only a shared reference can invoke that method
+    /// directly (this is what lets the server run N queries on N
+    /// connections concurrently under `RwLock::read`).
+    pub fn execute(&mut self, command: &Command) -> Result<Response, ServiceError> {
+        if command.is_read() {
+            return self.execute_read(command);
+        }
+        let result = self.execute_write_inner(command);
+        self.record_command(command, result.is_ok());
         result
     }
 
-    fn execute_inner(&mut self, command: &Command) -> Result<Response, ServiceError> {
+    /// Executes a read-only protocol command through a shared reference.
+    ///
+    /// Rejects write commands with a `BadRequest` error — the server's
+    /// read/write classification ([`Command::is_read`]) must route those
+    /// through [`FerretService::execute`] under an exclusive lock.
+    pub fn execute_read(&self, command: &Command) -> Result<Response, ServiceError> {
+        let result = self.execute_read_inner(command);
+        self.record_command(command, result.is_ok());
+        result
+    }
+
+    fn execute_read_inner(&self, command: &Command) -> Result<Response, ServiceError> {
         match command {
             Command::Query {
                 id,
@@ -493,13 +592,11 @@ impl FerretService {
                 attr,
                 weights,
             } => {
-                let options = QueryOptions {
-                    k: *k,
-                    mode: *mode,
-                    filter: filter.clone(),
-                    weight_override: weights.clone(),
-                    ..QueryOptions::default()
-                };
+                let mut options = QueryOptions::default()
+                    .with_k(*k)
+                    .with_mode(*mode)
+                    .with_filter(filter.clone());
+                options.weight_override = weights.clone();
                 let resp = self.query(*id, options, attr.as_deref())?;
                 if let Some(trace) = resp.trace {
                     self.record_trace(trace);
@@ -518,13 +615,6 @@ impl FerretService {
                 hits.sort();
                 Ok(Response::Ids(hits))
             }
-            Command::Delete { id } => {
-                if self.remove(*id)? {
-                    Ok(Response::Ok)
-                } else {
-                    Err(ServiceError::BadRequest(format!("unknown object {}", id.0)))
-                }
-            }
             Command::Stat => {
                 let fp = self.engine.metadata_footprint();
                 Ok(Response::Stat {
@@ -536,18 +626,35 @@ impl FerretService {
             }
             Command::Help => Ok(Response::Help),
             Command::Quit => Ok(Response::Bye),
+            Command::Delete { .. } => Err(ServiceError::BadRequest(
+                "write command on the read-only path".into(),
+            )),
         }
     }
 
-    /// Parses and executes one protocol line, rendering the response (or an
-    /// `ERR` line) as text.
+    fn execute_write_inner(&mut self, command: &Command) -> Result<Response, ServiceError> {
+        match command {
+            Command::Delete { id } => {
+                if self.remove(*id)? {
+                    Ok(Response::Ok)
+                } else {
+                    Err(ServiceError::BadRequest(format!("unknown object {}", id.0)))
+                }
+            }
+            read_only => self.execute_read_inner(read_only),
+        }
+    }
+
+    /// Parses and executes one protocol line, rendering the response (or
+    /// an `ERR` line) as text: parse → [`FerretService::execute`] →
+    /// [`crate::protocol::render_response`].
     pub fn execute_line(&mut self, line: &str) -> String {
         match crate::protocol::parse_command(line) {
             Ok(cmd) => match self.execute(&cmd) {
-                Ok(resp) => resp.render(),
-                Err(e) => format!("ERR {e}\n"),
+                Ok(resp) => crate::protocol::render_response(&resp),
+                Err(e) => crate::protocol::render_error(&e),
             },
-            Err(e) => format!("ERR {e}\n"),
+            Err(e) => crate::protocol::render_error(&e),
         }
     }
 }

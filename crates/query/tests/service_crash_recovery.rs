@@ -61,7 +61,7 @@ fn obj_for(id: u64) -> DataObject {
 
 /// Even ids carry attributes, odd ids don't.
 fn attrs_for(id: u64) -> Option<Attributes> {
-    (id % 2 == 0).then(|| {
+    id.is_multiple_of(2).then(|| {
         AttrsBuilder::new()
             .int("idx", id as i64)
             .keyword("parity", "even")

@@ -39,11 +39,7 @@ fn main() -> Result<()> {
         QueryMode::BruteForceSketch,
         QueryMode::Filtering,
     ] {
-        let options = QueryOptions {
-            k: 5,
-            mode,
-            ..QueryOptions::default()
-        };
+        let options = QueryOptions::default().with_k(5).with_mode(mode);
         let resp = engine.query(&query, &options)?;
         println!("{mode}:");
         for r in &resp.results {

@@ -11,8 +11,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> integration: server, determinism, telemetry"
-cargo test -q --test server_and_acquisition --test parallel_determinism --test telemetry
+echo "==> integration: server, determinism, telemetry, concurrent serving"
+cargo test -q --test server_and_acquisition --test parallel_determinism --test telemetry \
+    --test concurrent_serving
 
 echo "==> fault suite: crash points, torn tails, service crash recovery"
 # Fixed seed so the randomized crash/recovery scripts are reproducible
@@ -27,12 +28,16 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> smoke: serve + /metrics"
+echo "==> smoke: serve + parallel clients + /metrics"
 SMOKE_DIR="$(mktemp -d)"
 trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
-printf '0.1 0.2\n0.3 0.4\n' > "$SMOKE_DIR/a.fvec"
-printf '0.8 0.9\n' > "$SMOKE_DIR/b.fvec"
-target/release/ferret serve --db "$SMOKE_DIR/db" --watch "$SMOKE_DIR" --dim 2 \
+# Dedicated watch dir (db/log outside it) so object ids are deterministic:
+# path order assigns a.fvec=0, b.fvec=1. fvec lines are `weight c1 c2...`.
+mkdir "$SMOKE_DIR/watch"
+printf '1 0.1 0.2\n1 0.3 0.4\n' > "$SMOKE_DIR/watch/a.fvec"
+printf '1 0.8 0.9\n' > "$SMOKE_DIR/watch/b.fvec"
+target/release/ferret serve --db "$SMOKE_DIR/db" --watch "$SMOKE_DIR/watch" --dim 2 \
+    --max-inflight 8 \
     --tcp 127.0.0.1:0 --http 127.0.0.1:0 > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 HTTP_ADDR=""
@@ -49,12 +54,35 @@ http_get() {
         && printf 'GET %s HTTP/1.1\r\nHost: x\r\n\r\n' "$1" >&3 && cat <&3
 }
 http_get /stat > /dev/null   # populate the per-endpoint request counters
+# Multi-connection smoke: several parallel clients searching at once.
+# (wait only on the client pids — a bare `wait` would block on SERVE_PID.)
+CLIENT_PIDS=()
+for i in 1 2 3 4; do
+    http_get "/search?id=0&k=2&mode=brute" > "$SMOKE_DIR/search.$i" &
+    CLIENT_PIDS+=("$!")
+done
+for pid in "${CLIENT_PIDS[@]}"; do
+    wait "$pid"
+done
+for i in 1 2 3 4; do
+    head -n 1 "$SMOKE_DIR/search.$i" | grep -qE " (200|503) " \
+        || { echo "parallel /search client $i failed:"; head -n 3 "$SMOKE_DIR/search.$i"; exit 1; }
+done
+# At least one of the parallel searches must have actually returned results.
+grep -l '"results":\[{"id":' "$SMOKE_DIR"/search.* > /dev/null \
+    || { echo "no parallel /search returned results:"; head -n 20 "$SMOKE_DIR/search.1"; exit 1; }
 METRICS="$(http_get /metrics)"
 kill "$SERVE_PID" 2>/dev/null || true
 echo "$METRICS" | head -n 1 | grep -q " 200 " \
     || { echo "/metrics did not return 200:"; echo "$METRICS" | head -n 5; exit 1; }
 echo "$METRICS" | grep -q "^ferret_http_requests_total" \
     || { echo "/metrics exposition empty or missing expected series:"; echo "$METRICS" | head -n 20; exit 1; }
+# Admission-control series are registered eagerly; they must be visible
+# even before any query is rejected.
+for series in ferret_inflight_queries ferret_inflight_queries_peak ferret_rejected_total; do
+    echo "$METRICS" | grep -q "^$series" \
+        || { echo "/metrics missing $series:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+done
 echo "smoke OK: /metrics served $(echo "$METRICS" | grep -c '^ferret_') ferret series"
 
 echo "CI OK"

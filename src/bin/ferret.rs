@@ -26,7 +26,9 @@ use ferret::core::parallel::Parallelism;
 use ferret::core::sketch::SketchParams;
 use ferret::core::telemetry::MetricsRegistry;
 use ferret::datatypes::generic::FvecExtractor;
-use ferret::query::{Client, FerretService, HttpServer, Server, ServiceError};
+use ferret::query::{
+    AdmissionControl, Client, FerretService, HttpServer, ServeConfig, Server, ServiceError,
+};
 use ferret::store::DbOptions;
 
 struct Options {
@@ -39,6 +41,8 @@ struct Options {
     http: String,
     scan_interval: u64,
     threads: Parallelism,
+    workers: Option<usize>,
+    max_inflight: Option<usize>,
     telemetry: bool,
     addr: Option<String>,
     rest: Vec<String>,
@@ -46,7 +50,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -62,6 +66,8 @@ fn parse_options(args: &[String]) -> Options {
         http: "127.0.0.1:8080".to_string(),
         scan_interval: 5,
         threads: Parallelism::Auto,
+        workers: None,
+        max_inflight: None,
         telemetry: true,
         addr: None,
         rest: Vec::new(),
@@ -104,6 +110,14 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--threads" => {
                 opts.threads = parse_threads(need(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--max-inflight" => {
+                opts.max_inflight = Some(need(i).parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
             "--no-telemetry" => {
@@ -252,14 +266,45 @@ fn cmd_serve(opts: &Options) {
             service.engine().len()
         );
     }
-    if opts.telemetry {
-        service.enable_telemetry(Arc::new(MetricsRegistry::new()));
+    let registry = opts.telemetry.then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(reg) = &registry {
+        service.enable_telemetry(Arc::clone(reg));
     }
     let service = Arc::new(RwLock::new(service));
 
-    let tcp = Server::start(Arc::clone(&service), &opts.tcp).expect("tcp server");
-    let http = HttpServer::start(Arc::clone(&service), &opts.http).expect("http server");
+    // One serving configuration and one admission controller shared by
+    // both surfaces, so --max-inflight bounds the whole process.
+    let mut config = ServeConfig::default();
+    if let Some(workers) = opts.workers {
+        config.workers = workers;
+        config.queue_depth = 4 * workers.max(1);
+    }
+    if let Some(max) = opts.max_inflight {
+        config.max_inflight = max;
+    }
+    let admission = Arc::new(AdmissionControl::new(
+        config.max_inflight,
+        registry.as_ref(),
+    ));
+    let tcp = Server::start_with(
+        Arc::clone(&service),
+        &opts.tcp,
+        config.clone(),
+        Arc::clone(&admission),
+    )
+    .expect("tcp server");
+    let http = HttpServer::start_with(Arc::clone(&service), &opts.http, config.clone(), admission)
+        .expect("http server");
     println!("query parallelism: {}", opts.threads);
+    println!(
+        "serving: {} workers per surface, max in-flight queries {}",
+        config.workers,
+        if config.max_inflight == 0 {
+            "unlimited".to_string()
+        } else {
+            config.max_inflight.to_string()
+        }
+    );
     println!("tcp protocol on {}", tcp.addr());
     println!("web interface on http://{}/", http.addr());
     if opts.telemetry {

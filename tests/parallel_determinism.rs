@@ -53,21 +53,17 @@ proptest! {
     ) {
         let mut engine = engine_with(&objects, seed);
         let opts = [
-            QueryOptions {
-                mode: QueryMode::BruteForceOriginal,
-                k,
-                ..QueryOptions::default()
-            },
-            QueryOptions {
-                mode: QueryMode::Filtering,
-                k,
-                filter: FilterParams {
+            QueryOptions::default()
+                .with_mode(QueryMode::BruteForceOriginal)
+                .with_k(k),
+            QueryOptions::default()
+                .with_mode(QueryMode::Filtering)
+                .with_k(k)
+                .with_filter(FilterParams {
                     query_segments: 2,
                     candidates_per_segment: 3,
                     ..FilterParams::default()
-                },
-                ..QueryOptions::default()
-            },
+                }),
         ];
         let baselines: Vec<_> = opts
             .iter()
@@ -95,26 +91,20 @@ proptest! {
     ) {
         let mut engine = engine_with(&objects, seed);
         let opts = [
-            QueryOptions {
-                mode: QueryMode::BruteForceOriginal,
-                k,
-                ..QueryOptions::default()
-            },
-            QueryOptions {
-                mode: QueryMode::BruteForceSketch,
-                k,
-                ..QueryOptions::default()
-            },
-            QueryOptions {
-                mode: QueryMode::Filtering,
-                k,
-                filter: FilterParams {
+            QueryOptions::default()
+                .with_mode(QueryMode::BruteForceOriginal)
+                .with_k(k),
+            QueryOptions::default()
+                .with_mode(QueryMode::BruteForceSketch)
+                .with_k(k),
+            QueryOptions::default()
+                .with_mode(QueryMode::Filtering)
+                .with_k(k)
+                .with_filter(FilterParams {
                     query_segments: 2,
                     candidates_per_segment: 3,
                     ..FilterParams::default()
-                },
-                ..QueryOptions::default()
-            },
+                }),
         ];
         // Baseline: telemetry off, serial.
         let baselines: Vec<_> = opts

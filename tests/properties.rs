@@ -227,11 +227,7 @@ proptest! {
             QueryMode::BruteForceSketch,
             QueryMode::Filtering,
         ][mode_pick];
-        let opts = QueryOptions {
-            mode,
-            k: 5,
-            ..QueryOptions::default()
-        };
+        let opts = QueryOptions::default().with_mode(mode).with_k(5);
         let resp = engine.query_by_id(ObjectId(0), &opts).unwrap();
         prop_assert!(resp.results.len() <= 5);
         prop_assert!(resp.stats.objects_scanned <= objects.len());
