@@ -1,0 +1,265 @@
+//! Scan-versus-index crossover benchmark for the sketch filter stage.
+//!
+//! Builds synthetic 128-bit sketch corpora at 1k / 10k / 100k objects
+//! (uniform random bits plus a planted near-cluster inside the Hamming
+//! threshold, so the probe always has real survivors to verify), then
+//! answers the same thresholded filter query with the linear scan and
+//! with the multi-index Hamming probe. With `base_threshold = 12` and
+//! radius `B − 1 = 15` the probe is provably exhaustive, so both paths
+//! must return identical candidate sets; the interesting numbers are
+//! wall time and — hardware-independent — how many candidate sketches
+//! each path actually popcounted (`segments_scanned`).
+//!
+//! Besides the criterion report, the run writes `BENCH_filter_index.json`
+//! at the repository root.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use ferret_core::filter::{
+    filter_candidates, filter_candidates_indexed, FilterParams, IndexedFilterOutcome,
+};
+use ferret_core::object::ObjectId;
+use ferret_core::sketch::{BitVec, ShardedSketchIndex, SketchedObject};
+
+const NBITS: usize = 128;
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const CLUSTER: usize = 64;
+const THRESHOLD: u32 = 12;
+
+fn mix64(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_sketch(seed: u64, i: u64) -> BitVec {
+    let mut bits = BitVec::zeros(NBITS);
+    for b in 0..NBITS {
+        if mix64(seed, i * NBITS as u64 + b as u64) & 1 == 1 {
+            bits.set(b, true);
+        }
+    }
+    bits
+}
+
+/// Flip `flips` distinct bits of `base`, chosen deterministically.
+fn perturb(base: &BitVec, seed: u64, flips: usize) -> BitVec {
+    let mut out = base.clone();
+    let mut flipped = 0usize;
+    let mut n = 0u64;
+    while flipped < flips {
+        let b = (mix64(seed, n) as usize) % NBITS;
+        n += 1;
+        if out.get(b) == base.get(b) {
+            out.set(b, !out.get(b));
+            flipped += 1;
+        }
+    }
+    out
+}
+
+/// Corpus: object 0 is the query; objects 1..CLUSTER are planted within
+/// the threshold of it; the rest are uniform random (expected distance
+/// 64, far outside the threshold).
+fn corpus(n: usize) -> Vec<(ObjectId, SketchedObject)> {
+    let query = random_sketch(7, 0);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let sketch = if i == 0 {
+            query.clone()
+        } else if (i as usize) < CLUSTER.min(n) {
+            perturb(&query, i, (i % THRESHOLD as u64) as usize)
+        } else {
+            random_sketch(13, i)
+        };
+        out.push((
+            ObjectId(i),
+            SketchedObject {
+                weights: vec![1.0],
+                sketches: vec![sketch],
+            },
+        ));
+    }
+    out
+}
+
+fn params() -> FilterParams {
+    FilterParams {
+        query_segments: 1,
+        candidates_per_segment: 20,
+        base_threshold: Some(THRESHOLD),
+        weight_attenuation: 0.0,
+    }
+}
+
+fn build_index(corpus: &[(ObjectId, SketchedObject)]) -> ShardedSketchIndex {
+    let mut index = ShardedSketchIndex::new(NBITS).unwrap();
+    for (id, so) in corpus {
+        index.insert(*id, so).unwrap();
+    }
+    index
+}
+
+fn bench_scan_vs_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_scan_vs_index");
+    group.sample_size(10);
+    for n in SIZES {
+        let data = corpus(n);
+        let query = data[0].1.clone();
+        let dataset: Vec<(ObjectId, &SketchedObject)> =
+            data.iter().map(|(id, so)| (*id, so)).collect();
+        let index = build_index(&data);
+        let p = params();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("scan", n), |b| {
+            b.iter(|| {
+                black_box(
+                    filter_candidates(
+                        black_box(&query),
+                        dataset.iter().map(|&(id, so)| (id, so)),
+                        &p,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+        group.bench_function(BenchmarkId::new("indexed", n), |b| {
+            b.iter(|| {
+                black_box(
+                    filter_candidates_indexed(black_box(&query), &index, &p, None, 1).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+struct Sample {
+    size: usize,
+    scan_ns: f64,
+    indexed_ns: f64,
+    scan_segments: usize,
+    indexed_segments: usize,
+    candidates_equal: bool,
+}
+
+fn time_mean_ns<R>(reps: usize, mut routine: impl FnMut() -> R) -> f64 {
+    black_box(routine());
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(routine());
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+fn collect_json_samples() -> Vec<Sample> {
+    let p = params();
+    SIZES
+        .iter()
+        .map(|&n| {
+            let data = corpus(n);
+            let query = data[0].1.clone();
+            let dataset: Vec<(ObjectId, &SketchedObject)> =
+                data.iter().map(|(id, so)| (*id, so)).collect();
+            let index = build_index(&data);
+            let (scan_set, scan_stats) =
+                filter_candidates(&query, dataset.iter().map(|&(id, so)| (id, so)), &p).unwrap();
+            let (indexed_set, indexed_stats) =
+                match filter_candidates_indexed(&query, &index, &p, None, 1).unwrap() {
+                    IndexedFilterOutcome::Exact {
+                        candidates, stats, ..
+                    } => (candidates, stats),
+                    IndexedFilterOutcome::Fallback { .. } => {
+                        panic!(
+                            "threshold {THRESHOLD} <= radius {} must probe exactly",
+                            index.exact_radius()
+                        )
+                    }
+                };
+            assert_eq!(scan_set, indexed_set, "candidate sets diverged at n={n}");
+            assert_eq!(scan_stats.candidates, indexed_stats.candidates);
+            let scan_ns = time_mean_ns(5, || {
+                filter_candidates(&query, dataset.iter().map(|&(id, so)| (id, so)), &p).unwrap()
+            });
+            let indexed_ns = time_mean_ns(5, || {
+                filter_candidates_indexed(&query, &index, &p, None, 1).unwrap()
+            });
+            Sample {
+                size: n,
+                scan_ns,
+                indexed_ns,
+                scan_segments: scan_stats.segments_scanned,
+                indexed_segments: indexed_stats.segments_scanned,
+                candidates_equal: true,
+            }
+        })
+        .collect()
+}
+
+fn write_json(samples: &[Sample]) -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"filter_index\",\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"nbits\": {NBITS},\n"));
+    out.push_str(&format!("  \"base_threshold\": {THRESHOLD},\n"));
+    out.push_str(
+        "  \"note\": \"single-query latency, serial (threads=1); on a 1-core host wall-clock \
+         ratios understate the index because both paths share one core, so the \
+         hardware-independent comparison is segments popcounted (scan_segments / \
+         indexed_segments)\",\n",
+    );
+    out.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let wall_ratio = s.scan_ns / s.indexed_ns.max(1e-9);
+        let cmp_ratio = s.scan_segments as f64 / (s.indexed_segments.max(1)) as f64;
+        out.push_str(&format!(
+            "    {{\"size\": {}, \"scan_ns\": {:.0}, \"indexed_ns\": {:.0}, \
+             \"scan_segments_compared\": {}, \"indexed_segments_compared\": {}, \
+             \"wall_speedup\": {:.3}, \"comparison_reduction\": {:.3}, \
+             \"candidates_identical\": {}}}{}\n",
+            s.size,
+            s.scan_ns,
+            s.indexed_ns,
+            s.scan_segments,
+            s.indexed_segments,
+            wall_ratio,
+            cmp_ratio,
+            s.candidates_equal,
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_filter_index.json");
+    std::fs::write(&path, out)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+criterion_group!(benches, bench_scan_vs_index);
+
+fn main() {
+    benches();
+    let samples = collect_json_samples();
+    if let Err(e) = write_json(&samples) {
+        eprintln!("could not write BENCH_filter_index.json: {e}");
+    }
+    let largest = samples.last().expect("at least one size");
+    let reduction = largest.scan_segments as f64 / largest.indexed_segments.max(1) as f64;
+    assert!(
+        reduction >= 5.0,
+        "index must cut candidate-sketch comparisons >= 5x at n={}: scan {} vs indexed {}",
+        largest.size,
+        largest.scan_segments,
+        largest.indexed_segments
+    );
+}

@@ -13,11 +13,14 @@ use std::time::{Duration, Instant};
 use crate::distance::emd::{emd_with_costs, greedy_emd_with_costs, Emd, GreedyEmd, ThresholdedEmd};
 use crate::distance::{ObjectDistance, SegmentDistance};
 use crate::error::{CoreError, Result};
-use crate::filter::{filter_candidates_sharded_traced, FilterParams};
+use crate::filter::{
+    filter_candidates_indexed, filter_candidates_sharded_traced, FilterParams, FilterStats,
+    FilterStrategy, IndexedFilterOutcome, ProbeStats,
+};
 use crate::object::{DataObject, ObjectId};
 use crate::parallel::{try_map_chunked, Parallelism, DEFAULT_CHUNK};
 use crate::rank::{rank_candidates_parallel, rank_scores, SearchResult};
-use crate::sketch::{SketchBuilder, SketchParams, SketchedObject};
+use crate::sketch::{ShardedSketchIndex, SketchBuilder, SketchParams, SketchedObject};
 use crate::telemetry::{
     MetricsRegistry, QueryTrace, ShardTrace, StageClock, StageTrace, SIZE_BUCKETS,
 };
@@ -103,6 +106,10 @@ pub struct EngineConfig {
     /// batch sketch construction may use. Results are bit-identical for
     /// every setting; this only trades wall-clock time for cores.
     pub parallelism: Parallelism,
+    /// How the filtering stage traverses the sketch database: full scan,
+    /// multi-index probe, or a per-query automatic choice. Results are
+    /// byte-identical for every setting (see [`FilterStrategy`]).
+    pub filter_strategy: FilterStrategy,
 }
 
 impl EngineConfig {
@@ -116,9 +123,15 @@ impl EngineConfig {
             ranking: RankingMethod::Emd,
             store_originals: true,
             parallelism: Parallelism::Auto,
+            filter_strategy: FilterStrategy::Auto,
         }
     }
 }
+
+/// Minimum corpus size at which [`FilterStrategy::Auto`] considers the
+/// multi-index worthwhile; below this a scan is cheaper than probing
+/// `B` hash tables per query segment.
+pub const AUTO_INDEX_MIN_OBJECTS: usize = 256;
 
 /// Per-query options.
 ///
@@ -290,6 +303,11 @@ pub struct SearchEngine {
     order: Vec<ObjectId>,
     objects: HashMap<ObjectId, DataObject>,
     sketches: HashMap<ObjectId, SketchedObject>,
+    filter_strategy: FilterStrategy,
+    /// The multi-index over segment sketches, maintained through the whole
+    /// engine lifecycle (insert, batch insert, remove, rebuild, recovery
+    /// replay). `None` iff the strategy is [`FilterStrategy::Scan`].
+    index: Option<ShardedSketchIndex>,
 }
 
 impl SearchEngine {
@@ -297,6 +315,9 @@ impl SearchEngine {
     pub fn new(config: EngineConfig) -> Self {
         let builder = SketchBuilder::new(config.sketch, config.seed);
         let sketch_scale = 1.0 / builder.hamming_per_l1();
+        let index = (config.filter_strategy != FilterStrategy::Scan).then(|| {
+            ShardedSketchIndex::new(builder.nbits()).expect("valid sketch params imply valid index")
+        });
         Self {
             builder,
             sketch_scale,
@@ -308,6 +329,8 @@ impl SearchEngine {
             order: Vec::new(),
             objects: HashMap::new(),
             sketches: HashMap::new(),
+            filter_strategy: config.filter_strategy,
+            index,
         }
     }
 
@@ -327,12 +350,64 @@ impl SearchEngine {
         self.parallelism = parallelism;
     }
 
+    /// The engine's filtering strategy.
+    pub fn filter_strategy(&self) -> FilterStrategy {
+        self.filter_strategy
+    }
+
+    /// Changes the filtering strategy. Switching away from
+    /// [`FilterStrategy::Scan`] builds the multi-index from the stored
+    /// sketches; switching to it drops the index. Results are
+    /// byte-identical across strategies.
+    pub fn set_filter_strategy(&mut self, strategy: FilterStrategy) {
+        self.filter_strategy = strategy;
+        if strategy == FilterStrategy::Scan {
+            self.index = None;
+        } else if self.index.is_none() {
+            let mut index = ShardedSketchIndex::new(self.builder.nbits())
+                .expect("valid sketch params imply valid index");
+            for &id in &self.order {
+                let so = self.sketches.get(&id).expect("order/sketches in sync");
+                index.insert(id, so).expect("engine ids are unique");
+            }
+            self.index = Some(index);
+        }
+        self.publish_index_gauge();
+    }
+
+    /// The multi-index over segment sketches, if one is maintained.
+    pub fn filter_index(&self) -> Option<&ShardedSketchIndex> {
+        self.index.as_ref()
+    }
+
+    /// Approximate resident size of the filter index, in bytes (0 when
+    /// the strategy is [`FilterStrategy::Scan`]).
+    pub fn filter_index_bytes(&self) -> usize {
+        self.index
+            .as_ref()
+            .map_or(0, ShardedSketchIndex::memory_bytes)
+    }
+
+    /// Publishes the index memory gauge into the metrics registry.
+    fn publish_index_gauge(&self) {
+        if let Some(registry) = &self.telemetry {
+            registry
+                .gauge(
+                    "ferret_index_memory_bytes",
+                    "Approximate resident size of the sketch filter index.",
+                    &[],
+                )
+                .set(self.filter_index_bytes() as i64);
+        }
+    }
+
     /// Enables (or disables, with `None`) telemetry collection. When
     /// enabled, every query records per-stage latency histograms and
     /// scan counters into `registry` and returns a [`QueryTrace`] on its
     /// response. Collection never changes query results.
     pub fn set_telemetry(&mut self, registry: Option<Arc<MetricsRegistry>>) {
         self.telemetry = registry;
+        self.publish_index_gauge();
     }
 
     /// The metrics registry queries record into, if telemetry is on.
@@ -382,11 +457,15 @@ impl SearchEngine {
             });
         }
         let sketched = self.builder.sketch_object(&object)?;
+        if let Some(index) = self.index.as_mut() {
+            index.insert(id, &sketched)?;
+        }
         self.sketches.insert(id, sketched);
         if self.store_originals {
             self.objects.insert(id, object);
         }
         self.order.push(id);
+        self.publish_index_gauge();
         Ok(())
     }
 
@@ -416,12 +495,16 @@ impl SearchEngine {
             self.builder.sketch_object(object)
         })?;
         for ((id, object), so) in items.into_iter().zip(sketched) {
+            if let Some(index) = self.index.as_mut() {
+                index.insert(id, &so)?;
+            }
             self.sketches.insert(id, so);
             if self.store_originals {
                 self.objects.insert(id, object);
             }
             self.order.push(id);
         }
+        self.publish_index_gauge();
         Ok(())
     }
 
@@ -431,6 +514,10 @@ impl SearchEngine {
         self.objects.remove(&id);
         if present {
             self.order.retain(|&x| x != id);
+            if let Some(index) = self.index.as_mut() {
+                index.remove(id);
+            }
+            self.publish_index_gauge();
         }
         present
     }
@@ -473,6 +560,7 @@ impl SearchEngine {
             ranking: self.ranking.clone(),
             store_originals: true,
             parallelism: self.parallelism,
+            filter_strategy: self.filter_strategy,
         });
         let items: Vec<(ObjectId, DataObject)> = self
             .order
@@ -599,11 +687,7 @@ impl SearchEngine {
             &[("mode", mode)],
             trace.total,
         );
-        for (stage, timing) in [
-            ("sketch", &trace.sketch),
-            ("filter", &trace.filter),
-            ("rank", &trace.rank),
-        ] {
+        for (stage, timing) in [("sketch", &trace.sketch), ("rank", &trace.rank)] {
             if let Some(st) = timing {
                 registry.observe_latency(
                     "ferret_query_stage_seconds",
@@ -612,6 +696,17 @@ impl SearchEngine {
                     st.duration,
                 );
             }
+        }
+        if let Some(st) = &trace.filter {
+            // The filter stage additionally carries which execution path
+            // ran: "scan", "indexed", or "indexed-fallback".
+            let strategy = trace.filter_strategy.as_deref().unwrap_or("scan");
+            registry.observe_latency(
+                "ferret_query_stage_seconds",
+                "Per-stage query latency (sketch, filter scan, EMD rank).",
+                &[("stage", "filter"), ("mode", mode), ("strategy", strategy)],
+                st.duration,
+            );
         }
         registry.inc_counter(
             "ferret_query_objects_scanned_total",
@@ -863,25 +958,78 @@ impl SearchEngine {
                 threads: 1,
             });
         }
-        let dataset: Vec<(ObjectId, &SketchedObject)> = self
-            .order
-            .iter()
-            .filter_map(|&id| {
-                if !self.allowed(id, options) {
-                    return None;
-                }
-                self.sketches.get(&id).map(|so| (id, so))
-            })
-            .collect();
-        let scan_threads = self.parallelism.threads_for(dataset.len());
+        // Strategy dispatch: `Indexed` always probes (and falls back to a
+        // scan when the probe cannot prove exactness); `Auto` probes only
+        // when the corpus is large and the thresholds make a fallback
+        // impossible, so it never pays for a wasted probe.
+        let index = match self.filter_strategy {
+            FilterStrategy::Scan => None,
+            FilterStrategy::Indexed => self.index.as_ref(),
+            FilterStrategy::Auto => self.index.as_ref().filter(|idx| {
+                self.len() >= AUTO_INDEX_MIN_OBJECTS
+                    && options
+                        .filter
+                        .guarantees_exact_probe(&qs, idx.exact_radius())
+            }),
+        };
         let clock = StageClock::start(trace.is_some());
-        let (candidates, fstats, shard_stats) =
-            filter_candidates_sharded_traced(&qs, &dataset, &options.filter, scan_threads)?;
+        let mut strategy = "scan";
+        let mut probe_stats: Option<ProbeStats> = None;
+        let mut filter_threads = 0usize;
+        let scan_fallback = |threads_out: &mut usize| -> Result<(
+            HashSet<ObjectId>,
+            FilterStats,
+            Vec<FilterStats>,
+        )> {
+            let dataset: Vec<(ObjectId, &SketchedObject)> = self
+                .order
+                .iter()
+                .filter_map(|&id| {
+                    if !self.allowed(id, options) {
+                        return None;
+                    }
+                    self.sketches.get(&id).map(|so| (id, so))
+                })
+                .collect();
+            let threads = self.parallelism.threads_for(dataset.len());
+            *threads_out = threads;
+            filter_candidates_sharded_traced(&qs, &dataset, &options.filter, threads)
+        };
+        let (candidates, fstats, shard_stats): (_, FilterStats, Vec<FilterStats>) = match index {
+            Some(idx) => {
+                let threads = self.parallelism.threads_for(idx.num_shards());
+                filter_threads = threads;
+                match filter_candidates_indexed(
+                    &qs,
+                    idx,
+                    &options.filter,
+                    options.restrict.as_ref(),
+                    threads,
+                )? {
+                    IndexedFilterOutcome::Exact {
+                        candidates,
+                        stats,
+                        probe,
+                    } => {
+                        strategy = "indexed";
+                        probe_stats = Some(probe);
+                        (candidates, stats, Vec::new())
+                    }
+                    IndexedFilterOutcome::Fallback { probe } => {
+                        strategy = "indexed-fallback";
+                        probe_stats = Some(probe);
+                        scan_fallback(&mut filter_threads)?
+                    }
+                }
+            }
+            None => scan_fallback(&mut filter_threads)?,
+        };
         if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
             t.filter = Some(StageTrace {
                 duration: elapsed,
-                threads: scan_threads,
+                threads: filter_threads,
             });
+            t.filter_strategy = Some(strategy.to_string());
             t.shards = shard_stats
                 .iter()
                 .map(|s| ShardTrace {
@@ -890,6 +1038,14 @@ impl SearchEngine {
                 })
                 .collect();
             t.candidates = candidates.len();
+        }
+        if let (Some(registry), Some(probe)) = (&self.telemetry, &probe_stats) {
+            registry.inc_counter(
+                "ferret_filter_buckets_pruned_total",
+                "Index buckets skipped because their block value differed from the query's.",
+                &[],
+                probe.buckets_pruned as u64,
+            );
         }
         stats.objects_scanned = fstats.objects_scanned;
         stats.segments_scanned = fstats.segments_scanned;

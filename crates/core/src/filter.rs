@@ -13,7 +13,51 @@ use std::collections::HashSet;
 
 use crate::error::{CoreError, Result};
 use crate::object::ObjectId;
-use crate::sketch::SketchedObject;
+use crate::sketch::{ShardedSketchIndex, SketchIndex, SketchedObject};
+
+/// Which execution path the engine's filtering stage uses.
+///
+/// Every strategy returns byte-identical candidate sets: `Indexed` probes
+/// the multi-index and *proves* per query that the probe saw every segment
+/// the scan would have kept (see [`filter_candidates_indexed`]), falling
+/// back to the full scan when it cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterStrategy {
+    /// Always stream every stored segment sketch (the paper's behaviour).
+    Scan,
+    /// Always probe the multi-index first; scan only on fallback.
+    Indexed,
+    /// Probe the index when the corpus is large enough and the effective
+    /// per-segment thresholds ([`FilterParams::threshold_for_weight`])
+    /// statically guarantee an exact probe; otherwise scan.
+    #[default]
+    Auto,
+}
+
+impl std::fmt::Display for FilterStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FilterStrategy::Scan => "scan",
+            FilterStrategy::Indexed => "indexed",
+            FilterStrategy::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for FilterStrategy {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "scan" => Ok(FilterStrategy::Scan),
+            "indexed" => Ok(FilterStrategy::Indexed),
+            "auto" => Ok(FilterStrategy::Auto),
+            other => Err(CoreError::InvalidQuery(format!(
+                "unknown filter strategy {other:?} (expected scan, indexed, or auto)"
+            ))),
+        }
+    }
+}
 
 /// Parameters of the filtering step.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +115,26 @@ impl FilterParams {
             let factor = 1.0 - self.weight_attenuation * f64::from(w.clamp(0.0, 1.0));
             (f64::from(base) * factor).floor().max(0.0) as u32
         })
+    }
+
+    /// True if an index probe of guaranteed radius `radius` is *statically*
+    /// exact for `query` under these parameters: every selected query
+    /// segment has an adaptive threshold, and each threshold is at most
+    /// `radius`, so no admissible segment can lie outside the probe's
+    /// no-false-negative zone. The `Auto` strategy uses this to pick the
+    /// index only when a fallback scan is impossible.
+    pub fn guarantees_exact_probe(&self, query: &SketchedObject, radius: u32) -> bool {
+        if query.num_segments() == 0 {
+            return false;
+        }
+        query
+            .segments_by_weight()
+            .into_iter()
+            .take(self.query_segments)
+            .all(|qi| {
+                self.threshold_for_weight(query.weights[qi])
+                    .is_some_and(|t| t <= radius)
+            })
     }
 }
 
@@ -176,31 +240,42 @@ impl FilterScan {
     /// Feeds one dataset object through the scan.
     pub fn observe(&mut self, id: ObjectId, so: &SketchedObject) -> Result<()> {
         self.stats.objects_scanned += 1;
-        for sketch in &so.sketches {
-            self.stats.segments_scanned += 1;
-            for (slot, qs) in self.query_sketches.iter().enumerate() {
-                let heap = &mut self.heaps[slot];
-                // Tightest admission bound: the weight threshold caps
-                // entry outright, and a full heap only admits distances
-                // at or below its current worst (an equal distance can
-                // still win on object id).
-                let mut limit = self.thresholds[slot].unwrap_or(u32::MAX);
-                if heap.len() >= self.candidates_per_segment {
-                    if let Some(top) = heap.peek() {
-                        limit = limit.min(top.hamming);
-                    }
+        self.stats.segments_scanned += so.sketches.len();
+        let cap = self.candidates_per_segment;
+        for (slot, qs) in self.query_sketches.iter().enumerate() {
+            let heap = &mut self.heaps[slot];
+            // Tightest admission bound: the weight threshold caps entry
+            // outright, and a full heap only admits distances at or below
+            // its current worst (an equal distance can still win on object
+            // id). The heap-top read is hoisted out of the segment loop:
+            // while the heap is not yet full the bound is the threshold
+            // alone, and once full it only changes after an admission.
+            let threshold = self.thresholds[slot].unwrap_or(u32::MAX);
+            let mut limit = threshold;
+            let mut full = heap.len() >= cap;
+            if full {
+                if let Some(top) = heap.peek() {
+                    limit = limit.min(top.hamming);
                 }
+            }
+            for sketch in &so.sketches {
                 let Some(h) = qs.hamming_within(sketch, limit)? else {
                     continue;
                 };
                 admit(
                     heap,
-                    self.candidates_per_segment,
+                    cap,
                     HeapEntry {
                         hamming: h,
                         object: id,
                     },
                 );
+                full = full || heap.len() >= cap;
+                if full {
+                    if let Some(top) = heap.peek() {
+                        limit = threshold.min(top.hamming);
+                    }
+                }
             }
         }
         Ok(())
@@ -235,6 +310,221 @@ impl FilterScan {
         }
         self.stats.candidates = candidates.len();
         (candidates, self.stats)
+    }
+
+    /// Probes one index shard: for every selected query segment, looks up
+    /// the query's block values, unions the surviving buckets, and feeds
+    /// live survivors through the same bounded-heap admission as a scan.
+    ///
+    /// Statistics convention for probes: `segments_scanned` counts the
+    /// distinct `(query slot, entry)` pairs actually *verified* (offered a
+    /// popcount) and `objects_scanned` the distinct objects among them —
+    /// the real work the index saved relative to a scan. Both are derived
+    /// from bucket contents only, so they are identical for every thread
+    /// count.
+    fn probe_shard(
+        &mut self,
+        shard: &SketchIndex,
+        restrict: Option<&HashSet<ObjectId>>,
+        probe: &mut ProbeStats,
+    ) -> Result<()> {
+        let Self {
+            query_sketches,
+            thresholds,
+            candidates_per_segment,
+            heaps,
+            stats,
+        } = self;
+        let cap = *candidates_per_segment;
+        let mut seen_objects: HashSet<ObjectId> = HashSet::new();
+        let mut seen_entries: HashSet<u32> = HashSet::new();
+        for (slot, qs) in query_sketches.iter().enumerate() {
+            seen_entries.clear();
+            let heap = &mut heaps[slot];
+            let threshold = thresholds[slot].unwrap_or(u32::MAX);
+            for b in 0..shard.num_blocks() {
+                let range = shard.block_range(b);
+                let key = shard.block_key(qs, b)?;
+                probe.buckets_probed += 1;
+                let Some(bucket) = shard.bucket(b, key) else {
+                    probe.buckets_pruned += shard.buckets_in_block(b);
+                    continue;
+                };
+                probe.buckets_pruned += shard.buckets_in_block(b) - 1;
+                for &eidx in bucket {
+                    if !seen_entries.insert(eidx) {
+                        continue;
+                    }
+                    let Some((oid, sketch)) = shard.entry(eidx) else {
+                        continue; // tombstoned
+                    };
+                    if restrict.is_some_and(|set| !set.contains(&oid)) {
+                        continue;
+                    }
+                    stats.segments_scanned += 1;
+                    probe.entries_verified += 1;
+                    seen_objects.insert(oid);
+                    let mut limit = threshold;
+                    if heap.len() >= cap {
+                        if let Some(top) = heap.peek() {
+                            limit = limit.min(top.hamming);
+                        }
+                    }
+                    // The survivor matched the query exactly inside block
+                    // `b`, so the Hamming distance over the bits *before*
+                    // the block lower-bounds the full distance: reject on
+                    // the prefix alone when it already exceeds the bound.
+                    if range.start > 0 && qs.hamming_prefix(sketch, range.start)? > limit {
+                        probe.prefix_pruned += 1;
+                        continue;
+                    }
+                    let Some(h) = qs.hamming_within(sketch, limit)? else {
+                        continue;
+                    };
+                    admit(
+                        heap,
+                        cap,
+                        HeapEntry {
+                            hamming: h,
+                            object: oid,
+                        },
+                    );
+                }
+            }
+        }
+        stats.objects_scanned += seen_objects.len();
+        Ok(())
+    }
+
+    /// True if this (merged) scan provably kept everything a full scan
+    /// would keep, given that it only saw segments within Hamming distance
+    /// `radius` of each query segment (plus arbitrary extras).
+    ///
+    /// Per slot, either suffices:
+    /// * the adaptive threshold is at most `radius` — segments beyond the
+    ///   probe's no-false-negative zone were inadmissible anyway; or
+    /// * the heap is full with its worst kept distance at most `radius` —
+    ///   any unseen segment has distance ≥ `radius + 1` > the full scan's
+    ///   own worst kept distance, so it cannot displace anything.
+    fn complete_within(&self, radius: u32) -> bool {
+        (0..self.heaps.len()).all(|slot| {
+            if self.thresholds[slot].is_some_and(|t| t <= radius) {
+                return true;
+            }
+            self.heaps[slot].len() >= self.candidates_per_segment
+                && self.heaps[slot]
+                    .peek()
+                    .is_some_and(|top| top.hamming <= radius)
+        })
+    }
+}
+
+/// Statistics from one multi-index probe (see
+/// [`filter_candidates_indexed`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Buckets looked up (one per query slot × block × shard).
+    pub buckets_probed: usize,
+    /// Buckets skipped because their block value differed from the
+    /// query's — segments never touched at all.
+    pub buckets_pruned: usize,
+    /// Distinct `(query slot, entry)` survivors offered a verification.
+    pub entries_verified: usize,
+    /// Survivors rejected on the prefix distance alone, before a full
+    /// popcount.
+    pub prefix_pruned: usize,
+}
+
+impl ProbeStats {
+    fn absorb(&mut self, other: ProbeStats) {
+        self.buckets_probed += other.buckets_probed;
+        self.buckets_pruned += other.buckets_pruned;
+        self.entries_verified += other.entries_verified;
+        self.prefix_pruned += other.prefix_pruned;
+    }
+}
+
+/// The result of an indexed filtering attempt.
+#[derive(Debug)]
+pub enum IndexedFilterOutcome {
+    /// The probe provably matched a full scan: these candidates (and the
+    /// candidate count in `stats`) are byte-identical to
+    /// [`filter_candidates`] over the same live objects.
+    Exact {
+        /// The candidate object set.
+        candidates: HashSet<ObjectId>,
+        /// Scan statistics (probe convention: work actually done).
+        stats: FilterStats,
+        /// Probe statistics.
+        probe: ProbeStats,
+    },
+    /// The probe could not prove exactness (no threshold within the index
+    /// radius and some k-NN heap not saturated below it); the caller must
+    /// run the full scan.
+    Fallback {
+        /// Probe statistics for the wasted probe.
+        probe: ProbeStats,
+    },
+}
+
+/// Answers a [`FilterScan`]-shaped query through the multi-index instead
+/// of a full scan.
+///
+/// Shards are probed independently (in parallel across `threads`) and the
+/// per-shard scans merged through the same total-order heap admission as
+/// the sharded scan, so the merged heaps hold the k smallest
+/// `(hamming, object id)` entries of every segment the probe surfaced.
+/// The probe surfaces a *superset* of all segments within Hamming distance
+/// `B − 1` of each query segment (the pigeonhole guarantee of
+/// [`SketchIndex`]); [`FilterScan::complete_within`] then decides whether
+/// that superset provably contains everything a full scan would have kept.
+/// If yes, the outcome is [`IndexedFilterOutcome::Exact`] and bit-identical
+/// to [`filter_candidates`]; otherwise [`IndexedFilterOutcome::Fallback`]
+/// tells the caller to scan.
+pub fn filter_candidates_indexed(
+    query: &SketchedObject,
+    index: &ShardedSketchIndex,
+    params: &FilterParams,
+    restrict: Option<&HashSet<ObjectId>>,
+    threads: usize,
+) -> Result<IndexedFilterOutcome> {
+    let shards = index.shards();
+    let probe_range = |range: std::ops::Range<usize>| -> Result<(FilterScan, ProbeStats)> {
+        let mut scan = FilterScan::new(query, params)?;
+        let mut probe = ProbeStats::default();
+        for shard in &shards[range] {
+            scan.probe_shard(shard, restrict, &mut probe)?;
+        }
+        Ok((scan, probe))
+    };
+    let outcomes = if threads <= 1 || shards.len() <= 1 {
+        vec![probe_range(0..shards.len())]
+    } else {
+        crate::parallel::map_shards(threads, shards.len(), |_, range| probe_range(range))
+    };
+    let mut merged: Option<FilterScan> = None;
+    let mut probe = ProbeStats::default();
+    for outcome in outcomes {
+        let (scan, p) = outcome?;
+        probe.absorb(p);
+        match &mut merged {
+            None => merged = Some(scan),
+            Some(m) => m.merge(scan),
+        }
+    }
+    let merged = match merged {
+        Some(m) => m,
+        None => FilterScan::new(query, params)?, // empty index
+    };
+    if merged.complete_within(index.exact_radius()) {
+        let (candidates, stats) = merged.finish();
+        Ok(IndexedFilterOutcome::Exact {
+            candidates,
+            stats,
+            probe,
+        })
+    } else {
+        Ok(IndexedFilterOutcome::Fallback { probe })
     }
 }
 

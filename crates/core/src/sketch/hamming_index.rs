@@ -1,0 +1,632 @@
+//! Exact multi-index Hamming search over segment sketches.
+//!
+//! The filtering scan compares the query against *every* stored segment
+//! sketch, so at large corpus sizes the O(n) scan dominates query latency.
+//! This module trades memory for a sub-linear probe with the classic
+//! multi-index (pigeonhole) scheme: each `nbits`-long sketch is split into
+//! `B` fixed bit-blocks and bucketed per block value. If two sketches are
+//! within Hamming distance `t` and `B > t`, at least one block of the pair
+//! is *identical* (t differing bits cannot touch all B disjoint blocks), so
+//! looking up the query's own `B` block values and unioning the bucket
+//! contents yields a superset of every segment within distance `B − 1` —
+//! no false negatives below that radius. Survivors are then verified with
+//! the early-exit [`BitVec::hamming_within`] popcount, and the filter layer
+//! ([`crate::filter::filter_candidates_indexed`]) proves per query whether
+//! the probe radius was sufficient for bit-identical results, falling back
+//! to the full scan when it was not.
+//!
+//! [`SketchIndex`] is the single-shard structure; [`ShardedSketchIndex`]
+//! splits the corpus into fixed-size shards so probes parallelize the same
+//! way the sharded scan does, and so per-shard statistics stay independent
+//! of the thread count.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+use crate::error::{CoreError, Result};
+use crate::object::ObjectId;
+use crate::sketch::{BitVec, SketchedObject};
+
+/// One indexed segment: the owning object and a copy of its sketch for
+/// verification without chasing back into the engine's maps.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    object: ObjectId,
+    sketch: BitVec,
+}
+
+/// A multi-index over segment sketches: `B` hash tables, one per bit-block,
+/// mapping the block's value to the entries carrying it.
+///
+/// Removal is tombstone-based (entries are marked dead, postings stay in
+/// place); a shard never shrinks until rebuilt, which keeps removal O(1)
+/// per segment and keeps probe statistics deterministic.
+#[derive(Debug, Clone)]
+pub struct SketchIndex {
+    nbits: usize,
+    block_ranges: Vec<Range<usize>>,
+    /// `tables[b][key]` lists indices into `entries` whose block `b` equals
+    /// `key`. Keys fit in a `u64` because blocks are at most 64 bits wide.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    entries: Vec<IndexEntry>,
+    dead: Vec<bool>,
+    /// Each object's contiguous entry range (its segments are appended
+    /// together), for O(1) removal.
+    by_object: HashMap<ObjectId, Range<u32>>,
+    /// Objects ever inserted (monotone; drives shard rollover).
+    inserted_objects: usize,
+    live_objects: usize,
+    live_segments: usize,
+}
+
+impl SketchIndex {
+    /// Creates an index for `nbits`-long sketches with the default block
+    /// count ([`SketchIndex::default_blocks`]).
+    pub fn new(nbits: usize) -> Result<Self> {
+        Self::with_blocks(nbits, Self::default_blocks(nbits))
+    }
+
+    /// Creates an index with an explicit block count `B`. The guaranteed
+    /// exact probe radius is `B − 1`; more blocks raise the radius but
+    /// shrink each block, making buckets denser and probes slower.
+    pub fn with_blocks(nbits: usize, blocks: usize) -> Result<Self> {
+        if nbits == 0 {
+            return Err(CoreError::InvalidSketchParams(
+                "sketch index needs at least one bit".into(),
+            ));
+        }
+        if blocks == 0 || blocks > nbits {
+            return Err(CoreError::InvalidSketchParams(format!(
+                "block count {blocks} outside [1, {nbits}]"
+            )));
+        }
+        if nbits.div_ceil(blocks) > 64 {
+            return Err(CoreError::InvalidSketchParams(format!(
+                "{blocks} blocks over {nbits} bits exceed 64 bits per block"
+            )));
+        }
+        // Near-equal split: the first `nbits % blocks` blocks get one
+        // extra bit, so ranges tile [0, nbits) exactly.
+        let base = nbits / blocks;
+        let extra = nbits % blocks;
+        let mut block_ranges = Vec::with_capacity(blocks);
+        let mut start = 0;
+        for b in 0..blocks {
+            let len = base + usize::from(b < extra);
+            block_ranges.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, nbits);
+        Ok(Self {
+            nbits,
+            block_ranges,
+            tables: vec![HashMap::new(); blocks],
+            entries: Vec::new(),
+            dead: Vec::new(),
+            by_object: HashMap::new(),
+            inserted_objects: 0,
+            live_objects: 0,
+            live_segments: 0,
+        })
+    }
+
+    /// The default block count for `nbits`-long sketches: 8-bit blocks
+    /// (a guaranteed exact radius of `nbits/8 − 1`, ~12% of the sketch),
+    /// clamped so each block holds between 1 and 64 bits.
+    pub fn default_blocks(nbits: usize) -> usize {
+        (nbits / 8).clamp(nbits.div_ceil(64).max(1), nbits.max(1))
+    }
+
+    /// Sketch length this index accepts, in bits.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Number of bit-blocks `B`.
+    pub fn num_blocks(&self) -> usize {
+        self.block_ranges.len()
+    }
+
+    /// The largest Hamming distance at which a probe is guaranteed to find
+    /// every match: `B − 1` (pigeonhole over `B` disjoint blocks).
+    pub fn exact_radius(&self) -> u32 {
+        (self.num_blocks() - 1) as u32
+    }
+
+    /// The bit range of block `b`.
+    pub fn block_range(&self, b: usize) -> Range<usize> {
+        self.block_ranges[b].clone()
+    }
+
+    /// Extracts block `b` of `sketch` as the bucket key.
+    pub fn block_key(&self, sketch: &BitVec, b: usize) -> Result<u64> {
+        if sketch.len() != self.nbits {
+            return Err(CoreError::SketchLengthMismatch {
+                left: sketch.len(),
+                right: self.nbits,
+            });
+        }
+        let range = &self.block_ranges[b];
+        Ok(extract_bits(sketch.words(), range.start, range.len()))
+    }
+
+    /// The entry indices whose block `b` equals `key`, if any.
+    pub fn bucket(&self, b: usize, key: u64) -> Option<&[u32]> {
+        self.tables[b].get(&key).map(Vec::as_slice)
+    }
+
+    /// Number of distinct buckets in block `b`'s table.
+    pub fn buckets_in_block(&self, b: usize) -> usize {
+        self.tables[b].len()
+    }
+
+    /// Resolves an entry index to its object and sketch; `None` if the
+    /// entry was removed (tombstoned).
+    pub fn entry(&self, idx: u32) -> Option<(ObjectId, &BitVec)> {
+        let i = idx as usize;
+        if self.dead[i] {
+            return None;
+        }
+        let e = &self.entries[i];
+        Some((e.object, &e.sketch))
+    }
+
+    /// True if `id` is live in this shard.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.by_object.contains_key(&id)
+    }
+
+    /// Live objects.
+    pub fn len(&self) -> usize {
+        self.live_objects
+    }
+
+    /// True if no live objects remain.
+    pub fn is_empty(&self) -> bool {
+        self.live_objects == 0
+    }
+
+    /// Live segments.
+    pub fn live_segments(&self) -> usize {
+        self.live_segments
+    }
+
+    /// Objects ever inserted, including removed ones (monotone).
+    pub fn inserted_objects(&self) -> usize {
+        self.inserted_objects
+    }
+
+    /// Indexes every segment sketch of `so` under `id`.
+    pub fn insert(&mut self, id: ObjectId, so: &SketchedObject) -> Result<()> {
+        if self.by_object.contains_key(&id) {
+            return Err(CoreError::DuplicateObject(id.0));
+        }
+        for sketch in &so.sketches {
+            if sketch.len() != self.nbits {
+                return Err(CoreError::SketchLengthMismatch {
+                    left: sketch.len(),
+                    right: self.nbits,
+                });
+            }
+        }
+        let start = self.entries.len() as u32;
+        for sketch in &so.sketches {
+            let idx = self.entries.len() as u32;
+            for (b, range) in self.block_ranges.iter().enumerate() {
+                let key = extract_bits(sketch.words(), range.start, range.len());
+                self.tables[b].entry(key).or_default().push(idx);
+            }
+            self.entries.push(IndexEntry {
+                object: id,
+                sketch: sketch.clone(),
+            });
+            self.dead.push(false);
+        }
+        self.by_object.insert(id, start..self.entries.len() as u32);
+        self.inserted_objects += 1;
+        self.live_objects += 1;
+        self.live_segments += so.sketches.len();
+        Ok(())
+    }
+
+    /// Tombstones every entry of `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        let Some(range) = self.by_object.remove(&id) else {
+            return false;
+        };
+        for i in range.start..range.end {
+            self.dead[i as usize] = true;
+        }
+        self.live_objects -= 1;
+        self.live_segments -= (range.end - range.start) as usize;
+        true
+    }
+
+    /// Approximate resident size in bytes: entry sketches, posting lists,
+    /// and table overhead. Tombstoned entries still count — they occupy
+    /// memory until a rebuild.
+    pub fn memory_bytes(&self) -> usize {
+        let sketch_bytes = 8 * self.nbits.div_ceil(64) + std::mem::size_of::<BitVec>();
+        let entry_bytes = sketch_bytes + std::mem::size_of::<IndexEntry>();
+        let mut total = self.entries.len() * entry_bytes + self.dead.len();
+        for table in &self.tables {
+            // Per bucket: key + Vec header + hash-map slot overhead.
+            total += table.len() * (8 + std::mem::size_of::<Vec<u32>>() + 8);
+            total += table.values().map(|v| v.capacity() * 4).sum::<usize>();
+        }
+        total += self.by_object.len() * (std::mem::size_of::<(ObjectId, Range<u32>)>() + 8);
+        total
+    }
+}
+
+/// Extracts `len` bits (`1..=64`) starting at bit `start` from packed
+/// little-endian words.
+fn extract_bits(words: &[u64], start: usize, len: usize) -> u64 {
+    debug_assert!((1..=64).contains(&len));
+    let w = start / 64;
+    let off = start % 64;
+    let lo = words[w] >> off;
+    let got = 64 - off;
+    let val = if got >= len {
+        lo
+    } else {
+        lo | (words[w + 1] << got)
+    };
+    if len == 64 {
+        val
+    } else {
+        val & ((1u64 << len) - 1)
+    }
+}
+
+/// Default number of objects per shard of a [`ShardedSketchIndex`].
+pub const DEFAULT_SHARD_OBJECTS: usize = 4096;
+
+/// A sharded multi-index: fixed-capacity [`SketchIndex`] shards filled in
+/// insertion order, so probes parallelize per shard exactly like the
+/// sharded filtering scan, with per-shard statistics (and therefore merged
+/// results) independent of the thread count.
+#[derive(Debug, Clone)]
+pub struct ShardedSketchIndex {
+    nbits: usize,
+    blocks: usize,
+    shard_objects: usize,
+    shards: Vec<SketchIndex>,
+}
+
+impl ShardedSketchIndex {
+    /// Creates an empty sharded index for `nbits`-long sketches with
+    /// default block count and shard capacity.
+    pub fn new(nbits: usize) -> Result<Self> {
+        Self::with_options(
+            nbits,
+            SketchIndex::default_blocks(nbits),
+            DEFAULT_SHARD_OBJECTS,
+        )
+    }
+
+    /// Creates an empty sharded index with explicit block count and
+    /// objects-per-shard capacity.
+    pub fn with_options(nbits: usize, blocks: usize, shard_objects: usize) -> Result<Self> {
+        // Validate the geometry once up front by building a throwaway shard.
+        SketchIndex::with_blocks(nbits, blocks)?;
+        if shard_objects == 0 {
+            return Err(CoreError::InvalidSketchParams(
+                "shard capacity must be at least one object".into(),
+            ));
+        }
+        Ok(Self {
+            nbits,
+            blocks,
+            shard_objects,
+            shards: Vec::new(),
+        })
+    }
+
+    /// Sketch length this index accepts, in bits.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Number of bit-blocks per shard.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// The guaranteed exact probe radius, `B − 1`.
+    pub fn exact_radius(&self) -> u32 {
+        (self.blocks - 1) as u32
+    }
+
+    /// The shards, in insertion order.
+    pub fn shards(&self) -> &[SketchIndex] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(SketchIndex::len).sum()
+    }
+
+    /// True if no live objects remain.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(SketchIndex::is_empty)
+    }
+
+    /// Live segments across all shards.
+    pub fn live_segments(&self) -> usize {
+        self.shards.iter().map(SketchIndex::live_segments).sum()
+    }
+
+    /// True if `id` is live in any shard.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.shards.iter().any(|s| s.contains(id))
+    }
+
+    /// Indexes `so` under `id`, opening a new shard when the current one
+    /// is at capacity.
+    pub fn insert(&mut self, id: ObjectId, so: &SketchedObject) -> Result<()> {
+        if self.contains(id) {
+            return Err(CoreError::DuplicateObject(id.0));
+        }
+        let needs_shard = self
+            .shards
+            .last()
+            .is_none_or(|s| s.inserted_objects() >= self.shard_objects);
+        if needs_shard {
+            self.shards
+                .push(SketchIndex::with_blocks(self.nbits, self.blocks)?);
+        }
+        self.shards
+            .last_mut()
+            .expect("shard just ensured")
+            .insert(id, so)
+    }
+
+    /// Removes `id` from whichever shard holds it; returns `true` if it
+    /// was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        self.shards.iter_mut().any(|s| s.remove(id))
+    }
+
+    /// Approximate resident size in bytes across all shards.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(SketchIndex::memory_bytes).sum()
+    }
+}
+
+/// Returns the distinct live objects within Hamming distance `radius` of
+/// `sketch`, by brute force over the index's own entries. Test/diagnostic
+/// helper for validating the pigeonhole guarantee.
+pub fn brute_force_within(
+    index: &ShardedSketchIndex,
+    sketch: &BitVec,
+    radius: u32,
+) -> Result<HashSet<ObjectId>> {
+    let mut out = HashSet::new();
+    for shard in index.shards() {
+        for i in 0..shard.entries.len() as u32 {
+            if let Some((id, s)) = shard.entry(i) {
+                if sketch.hamming(s)? <= radius {
+                    out.insert(id);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn so(sketches: Vec<BitVec>) -> SketchedObject {
+        let n = sketches.len();
+        SketchedObject {
+            weights: vec![1.0 / n as f32; n],
+            sketches,
+        }
+    }
+
+    fn bits(nbits: usize, ones: &[usize]) -> BitVec {
+        let mut b = BitVec::zeros(nbits);
+        for &i in ones {
+            b.set(i, true);
+        }
+        b
+    }
+
+    #[test]
+    fn default_blocks_respects_bounds() {
+        assert_eq!(SketchIndex::default_blocks(128), 16);
+        assert_eq!(SketchIndex::default_blocks(64), 8);
+        // Tiny sketches: at least one block.
+        assert_eq!(SketchIndex::default_blocks(4), 1);
+        // Huge sketches: blocks may not exceed 64 bits each.
+        assert!(SketchIndex::default_blocks(100_000) >= 100_000usize.div_ceil(64));
+        for nbits in [1usize, 7, 63, 64, 65, 127, 128, 1000] {
+            let b = SketchIndex::default_blocks(nbits);
+            assert!(SketchIndex::with_blocks(nbits, b).is_ok(), "nbits {nbits}");
+        }
+    }
+
+    #[test]
+    fn block_ranges_tile_the_sketch() {
+        let idx = SketchIndex::with_blocks(100, 7).unwrap();
+        let mut covered = 0;
+        for b in 0..idx.num_blocks() {
+            let r = idx.block_range(b);
+            assert_eq!(r.start, covered);
+            assert!(r.len() <= 64 && !r.is_empty());
+            covered = r.end;
+        }
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(SketchIndex::with_blocks(0, 1).is_err());
+        assert!(SketchIndex::with_blocks(64, 0).is_err());
+        assert!(SketchIndex::with_blocks(4, 5).is_err());
+        // 130 bits in one block would exceed 64 bits per key.
+        assert!(SketchIndex::with_blocks(130, 1).is_err());
+        assert!(SketchIndex::with_blocks(130, 3).is_ok());
+    }
+
+    #[test]
+    fn block_key_extracts_exact_bits() {
+        // 100 bits split unevenly; keys must match a manual bit read.
+        let idx = SketchIndex::with_blocks(100, 3).unwrap();
+        let sketch = bits(100, &[0, 5, 33, 34, 63, 64, 65, 80, 99]);
+        for b in 0..idx.num_blocks() {
+            let r = idx.block_range(b);
+            let mut expect = 0u64;
+            for (pos, i) in (r.start..r.end).enumerate() {
+                if sketch.get(i) {
+                    expect |= 1u64 << pos;
+                }
+            }
+            assert_eq!(idx.block_key(&sketch, b).unwrap(), expect, "block {b}");
+        }
+        let short = BitVec::zeros(99);
+        assert!(idx.block_key(&short, 0).is_err());
+    }
+
+    #[test]
+    fn every_block_of_an_inserted_sketch_is_findable() {
+        let mut idx = SketchIndex::new(64).unwrap();
+        let s = bits(64, &[1, 8, 17, 40, 63]);
+        idx.insert(ObjectId(7), &so(vec![s.clone()])).unwrap();
+        for b in 0..idx.num_blocks() {
+            let key = idx.block_key(&s, b).unwrap();
+            let bucket = idx.bucket(b, key).expect("bucket exists");
+            assert!(bucket.iter().any(|&e| {
+                idx.entry(e)
+                    .is_some_and(|(id, sk)| id == ObjectId(7) && *sk == s)
+            }));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_probe_finds_all_within_radius() {
+        // Brute-force check of the exactness guarantee: every sketch
+        // within distance B-1 of the query appears in >= 1 probed bucket.
+        let nbits = 64;
+        let mut idx = ShardedSketchIndex::with_options(nbits, 8, 16).unwrap();
+        let query = bits(nbits, &[0, 9, 20, 33, 47, 61]);
+        for i in 0..200u64 {
+            // Flip i%16 bits of the query, spread across the sketch.
+            let flips: Vec<usize> = (0..(i % 16) as usize)
+                .map(|j| (j * 13 + i as usize) % nbits)
+                .collect();
+            let mut s = query.clone();
+            for &f in &flips {
+                s.set(f, !s.get(f));
+            }
+            idx.insert(ObjectId(i), &so(vec![s])).unwrap();
+        }
+        let within = brute_force_within(&idx, &query, idx.exact_radius()).unwrap();
+        // Union of probed buckets across all shards.
+        let mut probed = HashSet::new();
+        for shard in idx.shards() {
+            for b in 0..shard.num_blocks() {
+                let key = shard.block_key(&query, b).unwrap();
+                for &e in shard.bucket(b, key).unwrap_or(&[]) {
+                    if let Some((id, _)) = shard.entry(e) {
+                        probed.insert(id);
+                    }
+                }
+            }
+        }
+        assert!(!within.is_empty(), "test corpus must have near matches");
+        for id in &within {
+            assert!(probed.contains(id), "{id:?} within radius but not probed");
+        }
+    }
+
+    #[test]
+    fn insert_remove_reinsert_lifecycle() {
+        let mut idx = SketchIndex::new(64).unwrap();
+        let a = bits(64, &[1, 2, 3]);
+        let b = bits(64, &[60, 61]);
+        idx.insert(ObjectId(1), &so(vec![a.clone(), b.clone()]))
+            .unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.live_segments(), 2);
+        assert!(matches!(
+            idx.insert(ObjectId(1), &so(vec![a.clone()])),
+            Err(CoreError::DuplicateObject(1))
+        ));
+        assert!(idx.remove(ObjectId(1)));
+        assert!(!idx.remove(ObjectId(1)));
+        assert!(idx.is_empty());
+        assert_eq!(idx.live_segments(), 0);
+        // Tombstoned entries resolve to None.
+        assert!(idx.entry(0).is_none());
+        // Re-insert after removal: new live entries, old ones stay dead.
+        idx.insert(ObjectId(1), &so(vec![a.clone()])).unwrap();
+        assert_eq!(idx.len(), 1);
+        let key = idx.block_key(&a, 0).unwrap();
+        let live: Vec<_> = idx
+            .bucket(0, key)
+            .unwrap()
+            .iter()
+            .filter_map(|&e| idx.entry(e))
+            .collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].0, ObjectId(1));
+    }
+
+    #[test]
+    fn length_mismatch_rejected_on_insert() {
+        let mut idx = SketchIndex::new(64).unwrap();
+        assert!(idx
+            .insert(ObjectId(1), &so(vec![BitVec::zeros(65)]))
+            .is_err());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn sharding_rolls_over_at_capacity() {
+        let mut idx = ShardedSketchIndex::with_options(64, 8, 2).unwrap();
+        for i in 0..5u64 {
+            idx.insert(ObjectId(i), &so(vec![bits(64, &[i as usize])]))
+                .unwrap();
+        }
+        assert_eq!(idx.num_shards(), 3);
+        assert_eq!(idx.len(), 5);
+        assert!(idx.contains(ObjectId(4)));
+        assert!(idx.remove(ObjectId(0)));
+        assert_eq!(idx.len(), 4);
+        // Rollover counts insertions, not live objects: removing from a
+        // full shard does not reopen it.
+        idx.insert(ObjectId(9), &so(vec![bits(64, &[9])])).unwrap();
+        assert_eq!(idx.num_shards(), 3);
+        assert!(matches!(
+            idx.insert(ObjectId(9), &so(vec![bits(64, &[9])])),
+            Err(CoreError::DuplicateObject(9))
+        ));
+        assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn extract_bits_handles_word_straddles() {
+        let mut v = BitVec::zeros(128);
+        v.set(62, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(66, true);
+        // 8 bits starting at 60: bits 60..68 -> 0b0101_1100 read LSB-first.
+        assert_eq!(extract_bits(v.words(), 60, 8), 0b0101_1100);
+        // Full first word.
+        assert_eq!(extract_bits(v.words(), 0, 64), v.words()[0]);
+        // 64 bits straddling both words.
+        let expect = (v.words()[0] >> 32) | (v.words()[1] << 32);
+        assert_eq!(extract_bits(v.words(), 32, 64), expect);
+    }
+}

@@ -10,6 +10,7 @@
 pub mod bitvec;
 pub mod builder;
 pub mod diskdb;
+pub mod hamming_index;
 pub mod params;
 
 pub use bitvec::BitVec;
@@ -18,4 +19,5 @@ pub use diskdb::{
     filter_candidates_on_disk, filter_candidates_on_disk_sharded, SketchFileReader,
     SketchFileWriter,
 };
+pub use hamming_index::{ShardedSketchIndex, SketchIndex, DEFAULT_SHARD_OBJECTS};
 pub use params::SketchParams;

@@ -546,6 +546,9 @@ pub struct QueryTrace {
     pub sketch: Option<StageTrace>,
     /// The filtering scan (filter mode only).
     pub filter: Option<StageTrace>,
+    /// Which filtering path ran: `"scan"`, `"indexed"`, or
+    /// `"indexed-fallback"` (filter mode only).
+    pub filter_strategy: Option<String>,
     /// Ranking the candidates.
     pub rank: Option<StageTrace>,
     /// Objects visited during scanning.
@@ -585,12 +588,17 @@ impl QueryTrace {
                 )
             })
             .collect();
+        let filter_strategy = match &self.filter_strategy {
+            Some(s) => format!("\"{}\"", escape_label_value(s)),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"mode\":\"{}\",\"total_seconds\":{},\"sketch\":{},\"filter\":{},\"rank\":{},\"objects_scanned\":{},\"segments_scanned\":{},\"candidates\":{},\"distance_evals\":{},\"results\":{},\"shards\":[{}]}}",
+            "{{\"mode\":\"{}\",\"total_seconds\":{},\"sketch\":{},\"filter\":{},\"filter_strategy\":{},\"rank\":{},\"objects_scanned\":{},\"segments_scanned\":{},\"candidates\":{},\"distance_evals\":{},\"results\":{},\"shards\":[{}]}}",
             escape_label_value(&self.mode),
             format_f64(self.total.as_secs_f64()),
             stage(&self.sketch),
             stage(&self.filter),
+            filter_strategy,
             stage(&self.rank),
             self.objects_scanned,
             self.segments_scanned,
@@ -747,6 +755,7 @@ mod tests {
                 duration: Duration::from_millis(3),
                 threads: 4,
             }),
+            filter_strategy: Some("indexed".into()),
             rank: Some(StageTrace {
                 duration: Duration::from_millis(2),
                 threads: 2,

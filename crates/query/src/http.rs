@@ -105,8 +105,9 @@ pub fn response_to_json(resp: &Response) -> String {
             segments,
             sketch_bytes,
             feature_bytes,
+            index_bytes,
         } => format!(
-            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes}}}"
+            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes},\"index_bytes\":{index_bytes}}}"
         ),
         Response::Help => format!(
             "{{\"ok\":true,\"help\":\"{}\"}}",

@@ -87,6 +87,8 @@ pub enum Response {
         sketch_bytes: usize,
         /// Feature-vector metadata bytes.
         feature_bytes: usize,
+        /// Approximate filter-index bytes (0 with the scan strategy).
+        index_bytes: usize,
     },
     /// Help text.
     Help,
@@ -119,9 +121,10 @@ pub fn render_response(resp: &Response) -> String {
             segments,
             sketch_bytes,
             feature_bytes,
+            index_bytes,
         } => {
             format!(
-                "OK 4\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\n"
+                "OK 5\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\nindex_bytes {index_bytes}\n"
             )
         }
         Response::Help => format!("OK help\n{HELP_TEXT}\n"),

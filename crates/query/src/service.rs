@@ -622,6 +622,7 @@ impl FerretService {
                     segments: fp.segments,
                     sketch_bytes: fp.sketch_bytes,
                     feature_bytes: fp.feature_vector_bytes,
+                    index_bytes: self.engine.filter_index_bytes(),
                 })
             }
             Command::Help => Ok(Response::Help),

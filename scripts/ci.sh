@@ -11,9 +11,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> integration: server, determinism, telemetry, concurrent serving"
+echo "==> integration: server, determinism, telemetry, concurrent serving, sketch index"
 cargo test -q --test server_and_acquisition --test parallel_determinism --test telemetry \
-    --test concurrent_serving
+    --test concurrent_serving --test filter_index
 
 echo "==> fault suite: crash points, torn tails, service crash recovery"
 # Fixed seed so the randomized crash/recovery scripts are reproducible
@@ -37,7 +37,7 @@ mkdir "$SMOKE_DIR/watch"
 printf '1 0.1 0.2\n1 0.3 0.4\n' > "$SMOKE_DIR/watch/a.fvec"
 printf '1 0.8 0.9\n' > "$SMOKE_DIR/watch/b.fvec"
 target/release/ferret serve --db "$SMOKE_DIR/db" --watch "$SMOKE_DIR/watch" --dim 2 \
-    --max-inflight 8 \
+    --max-inflight 8 --filter-strategy indexed \
     --tcp 127.0.0.1:0 --http 127.0.0.1:0 > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 HTTP_ADDR=""
@@ -71,6 +71,11 @@ done
 # At least one of the parallel searches must have actually returned results.
 grep -l '"results":\[{"id":' "$SMOKE_DIR"/search.* > /dev/null \
     || { echo "no parallel /search returned results:"; head -n 20 "$SMOKE_DIR/search.1"; exit 1; }
+# A filter-mode search must go through the sketch index (the server was
+# started with --filter-strategy indexed) and show up in the strategy-
+# labelled stage metrics below.
+http_get "/search?id=0&k=2&mode=filter" | grep -q '"results":' \
+    || { echo "filter-mode /search failed"; exit 1; }
 METRICS="$(http_get /metrics)"
 kill "$SERVE_PID" 2>/dev/null || true
 echo "$METRICS" | head -n 1 | grep -q " 200 " \
@@ -83,6 +88,14 @@ for series in ferret_inflight_queries ferret_inflight_queries_peak ferret_reject
     echo "$METRICS" | grep -q "^$series" \
         || { echo "/metrics missing $series:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
 done
+# The sketch index instrumented the filter-mode search: the probe counter
+# exists and the filter stage timer carries the indexed strategy label.
+echo "$METRICS" | grep -q "^ferret_filter_buckets_pruned_total" \
+    || { echo "/metrics missing ferret_filter_buckets_pruned_total:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+echo "$METRICS" | grep "^ferret_query_stage_seconds" | grep -q 'strategy="indexed' \
+    || { echo "/metrics filter stage missing indexed strategy label:"; echo "$METRICS" | grep '^ferret_query_stage' | head -n 20; exit 1; }
+echo "$METRICS" | grep -q "^ferret_index_memory_bytes" \
+    || { echo "/metrics missing ferret_index_memory_bytes:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
 echo "smoke OK: /metrics served $(echo "$METRICS" | grep -c '^ferret_') ferret series"
 
 echo "CI OK"

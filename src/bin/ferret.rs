@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use ferret::acquire::{ImportSink, Importer};
 use ferret::attr::Attributes;
 use ferret::core::engine::EngineConfig;
+use ferret::core::filter::FilterStrategy;
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
 use ferret::core::sketch::SketchParams;
@@ -41,6 +42,7 @@ struct Options {
     http: String,
     scan_interval: u64,
     threads: Parallelism,
+    filter_strategy: FilterStrategy,
     workers: Option<usize>,
     max_inflight: Option<usize>,
     telemetry: bool,
@@ -50,7 +52,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--filter-strategy scan|indexed|auto] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -66,6 +68,7 @@ fn parse_options(args: &[String]) -> Options {
         http: "127.0.0.1:8080".to_string(),
         scan_interval: 5,
         threads: Parallelism::Auto,
+        filter_strategy: FilterStrategy::Auto,
         workers: None,
         max_inflight: None,
         telemetry: true,
@@ -110,6 +113,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--threads" => {
                 opts.threads = parse_threads(need(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--filter-strategy" => {
+                opts.filter_strategy = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
             "--workers" => {
@@ -209,6 +216,7 @@ fn open_service(opts: &Options) -> FerretService {
     .expect("valid sketch parameters");
     let mut config = EngineConfig::basic(params, 0xFE44E7);
     config.parallelism = opts.threads;
+    config.filter_strategy = opts.filter_strategy;
     match FerretService::open(&db, config, DbOptions::default()) {
         Ok(svc) => svc,
         Err(e) => {

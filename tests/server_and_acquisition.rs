@@ -190,7 +190,7 @@ fn metrics_endpoint_end_to_end() {
     // The query pipeline behind /search recorded per-stage latencies.
     assert_eq!(get("ferret_queries_total{mode=\"filtering\"}"), 3.0);
     assert_eq!(get("ferret_query_seconds_count{mode=\"filtering\"}"), 3.0);
-    for stage in ["sketch", "filter", "rank"] {
+    for stage in ["sketch", "rank"] {
         assert_eq!(
             get(&format!(
                 "ferret_query_stage_seconds_count{{mode=\"filtering\",stage=\"{stage}\"}}"
@@ -199,6 +199,13 @@ fn metrics_endpoint_end_to_end() {
             "stage {stage} not instrumented\n{body}"
         );
     }
+    // The filter stage additionally records which strategy served it; this
+    // corpus is below the auto-index threshold, so the scan path handled it.
+    assert_eq!(
+        get("ferret_query_stage_seconds_count{mode=\"filtering\",stage=\"filter\",strategy=\"scan\"}"),
+        3.0,
+        "filter stage not instrumented\n{body}"
+    );
     // Commands dispatched through the service were counted too.
     assert_eq!(
         get("ferret_commands_total{command=\"query\",outcome=\"ok\"}"),
