@@ -20,7 +20,9 @@ use crate::filter::{
 use crate::object::{DataObject, ObjectId};
 use crate::parallel::{try_map_chunked, Parallelism, DEFAULT_CHUNK};
 use crate::rank::{rank_candidates_parallel, rank_scores, SearchResult};
-use crate::sketch::{ShardedSketchIndex, SketchBuilder, SketchParams, SketchedObject};
+use crate::sketch::{
+    ShardedSketchIndex, SketchBuilder, SketchParams, SketchStrategy, SketchedObject,
+};
 use crate::telemetry::{
     MetricsRegistry, QueryTrace, ShardTrace, StageClock, StageTrace, SIZE_BUCKETS,
 };
@@ -110,6 +112,12 @@ pub struct EngineConfig {
     /// multi-index probe, or a per-query automatic choice. Results are
     /// byte-identical for every setting (see [`FilterStrategy`]).
     pub filter_strategy: FilterStrategy,
+    /// How the sketch construction unit evaluates its `N × K` random
+    /// pairs: the paper's per-pair loop or the pre-sorted one-pass plan.
+    /// Sketches are byte-identical for every setting (see
+    /// [`SketchStrategy`]); this only trades plan memory for ingest
+    /// throughput.
+    pub sketch_strategy: SketchStrategy,
 }
 
 impl EngineConfig {
@@ -124,6 +132,7 @@ impl EngineConfig {
             store_originals: true,
             parallelism: Parallelism::Auto,
             filter_strategy: FilterStrategy::Auto,
+            sketch_strategy: SketchStrategy::Classic,
         }
     }
 }
@@ -313,7 +322,8 @@ pub struct SearchEngine {
 impl SearchEngine {
     /// Creates an empty engine from a configuration.
     pub fn new(config: EngineConfig) -> Self {
-        let builder = SketchBuilder::new(config.sketch, config.seed);
+        let builder =
+            SketchBuilder::with_strategy(config.sketch, config.seed, config.sketch_strategy);
         let sketch_scale = 1.0 / builder.hamming_per_l1();
         let index = (config.filter_strategy != FilterStrategy::Scan).then(|| {
             ShardedSketchIndex::new(builder.nbits()).expect("valid sketch params imply valid index")
@@ -353,6 +363,51 @@ impl SearchEngine {
     /// The engine's filtering strategy.
     pub fn filter_strategy(&self) -> FilterStrategy {
         self.filter_strategy
+    }
+
+    /// The engine's sketch construction strategy.
+    pub fn sketch_strategy(&self) -> SketchStrategy {
+        self.builder.strategy()
+    }
+
+    /// The sketch strategy as a metric label value.
+    fn sketch_strategy_label(&self) -> &'static str {
+        match self.builder.strategy() {
+            SketchStrategy::Classic => "classic",
+            SketchStrategy::OnePass => "one-pass",
+        }
+    }
+
+    /// Records one ingest batch into the metrics registry: objects
+    /// sketched (by strategy), the sketch-stage build timer, and the
+    /// most recent objects/sec ingest rate.
+    fn record_ingest_metrics(&self, objects: usize, elapsed: Duration) {
+        let Some(registry) = &self.telemetry else {
+            return;
+        };
+        let strategy = self.sketch_strategy_label();
+        registry.inc_counter(
+            "ferret_sketch_objects_total",
+            "Objects sketched on the ingest path, by construction strategy.",
+            &[("strategy", strategy)],
+            objects as u64,
+        );
+        registry.observe_latency(
+            "ferret_sketch_build_seconds",
+            "Wall time of the ingest sketch-construction stage, by strategy.",
+            &[("strategy", strategy)],
+            elapsed,
+        );
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            registry
+                .gauge(
+                    "ferret_sketch_objects_per_sec",
+                    "Ingest sketch-construction throughput of the most recent batch.",
+                    &[("strategy", strategy)],
+                )
+                .set((objects as f64 / secs) as i64);
+        }
     }
 
     /// Changes the filtering strategy. Switching away from
@@ -408,6 +463,22 @@ impl SearchEngine {
     pub fn set_telemetry(&mut self, registry: Option<Arc<MetricsRegistry>>) {
         self.telemetry = registry;
         self.publish_index_gauge();
+        // Register the ingest sketch series eagerly so `/metrics` shows
+        // them (at zero) even before the first post-enable insert — the
+        // initial import typically happens before telemetry is wired up.
+        if let Some(registry) = &self.telemetry {
+            let strategy = self.sketch_strategy_label();
+            registry.counter(
+                "ferret_sketch_objects_total",
+                "Objects sketched on the ingest path, by construction strategy.",
+                &[("strategy", strategy)],
+            );
+            registry.gauge(
+                "ferret_sketch_objects_per_sec",
+                "Ingest sketch-construction throughput of the most recent batch.",
+                &[("strategy", strategy)],
+            );
+        }
     }
 
     /// The metrics registry queries record into, if telemetry is on.
@@ -456,7 +527,11 @@ impl SearchEngine {
                 actual: object.dim(),
             });
         }
+        let clock = StageClock::start(self.telemetry.is_some());
         let sketched = self.builder.sketch_object(&object)?;
+        if let Some(elapsed) = clock.elapsed() {
+            self.record_ingest_metrics(1, elapsed);
+        }
         if let Some(index) = self.index.as_mut() {
             index.insert(id, &sketched)?;
         }
@@ -491,9 +566,13 @@ impl SearchEngine {
             }
         }
         let threads = self.parallelism.threads_for(items.len());
+        let clock = StageClock::start(self.telemetry.is_some());
         let sketched = try_map_chunked(threads, DEFAULT_CHUNK, &items, |_, (_, object)| {
             self.builder.sketch_object(object)
         })?;
+        if let Some(elapsed) = clock.elapsed() {
+            self.record_ingest_metrics(items.len(), elapsed);
+        }
         for ((id, object), so) in items.into_iter().zip(sketched) {
             if let Some(index) = self.index.as_mut() {
                 index.insert(id, &so)?;
@@ -561,7 +640,11 @@ impl SearchEngine {
             store_originals: true,
             parallelism: self.parallelism,
             filter_strategy: self.filter_strategy,
+            sketch_strategy: self.builder.strategy(),
         });
+        // Carry the registry over so a retune does not silently disable
+        // telemetry on the replacement engine.
+        rebuilt.set_telemetry(self.telemetry.clone());
         let items: Vec<(ObjectId, DataObject)> = self
             .order
             .iter()
@@ -665,6 +748,9 @@ impl SearchEngine {
         t.segments_scanned = stats.segments_scanned;
         t.distance_evals = stats.distance_evals;
         t.results = results;
+        if t.sketch.is_some() {
+            t.sketch_strategy = Some(self.sketch_strategy_label().to_string());
+        }
         if let Some(registry) = &self.telemetry {
             Self::record_query_metrics(registry, t);
         }
@@ -687,15 +773,24 @@ impl SearchEngine {
             &[("mode", mode)],
             trace.total,
         );
-        for (stage, timing) in [("sketch", &trace.sketch), ("rank", &trace.rank)] {
-            if let Some(st) = timing {
-                registry.observe_latency(
-                    "ferret_query_stage_seconds",
-                    "Per-stage query latency (sketch, filter scan, EMD rank).",
-                    &[("stage", stage), ("mode", mode)],
-                    st.duration,
-                );
-            }
+        if let Some(st) = &trace.rank {
+            registry.observe_latency(
+                "ferret_query_stage_seconds",
+                "Per-stage query latency (sketch, filter scan, EMD rank).",
+                &[("stage", "rank"), ("mode", mode)],
+                st.duration,
+            );
+        }
+        if let Some(st) = &trace.sketch {
+            // The sketch stage carries which construction strategy built the
+            // query sketch: "classic" or "one-pass".
+            let strategy = trace.sketch_strategy.as_deref().unwrap_or("classic");
+            registry.observe_latency(
+                "ferret_query_stage_seconds",
+                "Per-stage query latency (sketch, filter scan, EMD rank).",
+                &[("stage", "sketch"), ("mode", mode), ("strategy", strategy)],
+                st.duration,
+            );
         }
         if let Some(st) = &trace.filter {
             // The filter stage additionally carries which execution path

@@ -23,6 +23,18 @@ impl BitVec {
         }
     }
 
+    /// Creates a bit vector directly from packed words (little-endian bit
+    /// order within each word). Bits at positions `>= len` must be zero;
+    /// this is only debug-asserted, so the constructor stays crate-local.
+    pub(crate) fn from_words(words: Box<[u64]>, len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        debug_assert!(
+            len.is_multiple_of(64) || words.last().is_none_or(|w| w >> (len % 64) == 0),
+            "bits beyond len must be zero"
+        );
+        Self { words, len }
+    }
+
     /// Creates a bit vector from a boolean slice.
     pub fn from_bits(bits: &[bool]) -> Self {
         let mut bv = Self::zeros(bits.len());

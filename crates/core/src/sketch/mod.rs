@@ -11,6 +11,7 @@ pub mod bitvec;
 pub mod builder;
 pub mod diskdb;
 pub mod hamming_index;
+pub mod onepass;
 pub mod params;
 
 pub use bitvec::BitVec;
@@ -20,4 +21,5 @@ pub use diskdb::{
     SketchFileWriter,
 };
 pub use hamming_index::{ShardedSketchIndex, SketchIndex, DEFAULT_SHARD_OBJECTS};
+pub use onepass::{OnePassPlan, SketchStrategy};
 pub use params::SketchParams;

@@ -544,6 +544,9 @@ pub struct QueryTrace {
     pub total: Duration,
     /// Sketching the query object (absent for sketch-seeded queries).
     pub sketch: Option<StageTrace>,
+    /// Which sketch construction strategy built the query sketch:
+    /// `"classic"` or `"one-pass"` (absent when no sketch stage ran).
+    pub sketch_strategy: Option<String>,
     /// The filtering scan (filter mode only).
     pub filter: Option<StageTrace>,
     /// Which filtering path ran: `"scan"`, `"indexed"`, or
@@ -588,17 +591,18 @@ impl QueryTrace {
                 )
             })
             .collect();
-        let filter_strategy = match &self.filter_strategy {
+        let opt_str = |s: &Option<String>| match s {
             Some(s) => format!("\"{}\"", escape_label_value(s)),
             None => "null".to_string(),
         };
         format!(
-            "{{\"mode\":\"{}\",\"total_seconds\":{},\"sketch\":{},\"filter\":{},\"filter_strategy\":{},\"rank\":{},\"objects_scanned\":{},\"segments_scanned\":{},\"candidates\":{},\"distance_evals\":{},\"results\":{},\"shards\":[{}]}}",
+            "{{\"mode\":\"{}\",\"total_seconds\":{},\"sketch\":{},\"sketch_strategy\":{},\"filter\":{},\"filter_strategy\":{},\"rank\":{},\"objects_scanned\":{},\"segments_scanned\":{},\"candidates\":{},\"distance_evals\":{},\"results\":{},\"shards\":[{}]}}",
             escape_label_value(&self.mode),
             format_f64(self.total.as_secs_f64()),
             stage(&self.sketch),
+            opt_str(&self.sketch_strategy),
             stage(&self.filter),
-            filter_strategy,
+            opt_str(&self.filter_strategy),
             stage(&self.rank),
             self.objects_scanned,
             self.segments_scanned,
@@ -751,6 +755,7 @@ mod tests {
                 duration: Duration::from_micros(100),
                 threads: 1,
             }),
+            sketch_strategy: Some("one-pass".into()),
             filter: Some(StageTrace {
                 duration: Duration::from_millis(3),
                 threads: 4,
@@ -778,6 +783,7 @@ mod tests {
         };
         let json = trace.to_json();
         assert!(json.contains("\"mode\":\"filtering\""), "{json}");
+        assert!(json.contains("\"sketch_strategy\":\"one-pass\""), "{json}");
         assert!(json.contains("\"candidates\":12"), "{json}");
         assert!(json.contains("\"threads\":4"), "{json}");
         assert!(

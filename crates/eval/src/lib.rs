@@ -10,11 +10,16 @@
 #![warn(missing_docs)]
 
 pub mod benchmark;
+pub mod estimator;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 
 pub use benchmark::{BenchmarkParseError, BenchmarkSuite, SimilaritySet};
+pub use estimator::{
+    clustered_objects, evaluate_builder, evaluate_strategy, folded_differ_probability,
+    raw_differ_probability, recall_parity, seeded_corpus, EstimatorReport, PairCheck, ParityReport,
+};
 pub use metrics::{score_query, QualityAccumulator, QualityScores};
 pub use report::{format_duration, format_ratio, format_score, TextTable};
 pub use runner::{run_suite, time_queries, QueryOutcome, SuiteResult, TimingStats};

@@ -15,6 +15,12 @@ echo "==> integration: server, determinism, telemetry, concurrent serving, sketc
 cargo test -q --test server_and_acquisition --test parallel_determinism --test telemetry \
     --test concurrent_serving --test filter_index
 
+echo "==> sketch strategies: estimator quality, golden fixtures, cross-strategy determinism"
+# Fixed seed so the randomized cross-strategy corpora are reproducible.
+cargo test -q -p ferret-eval --test estimator_quality
+cargo test -q -p ferret-core --test golden_sketches
+PROPTEST_SEED=20260805 cargo test -q --test sketch_strategy
+
 echo "==> fault suite: crash points, torn tails, service crash recovery"
 # Fixed seed so the randomized crash/recovery scripts are reproducible
 # across CI runs; bump it to explore a fresh corner of the fault space.
@@ -37,7 +43,7 @@ mkdir "$SMOKE_DIR/watch"
 printf '1 0.1 0.2\n1 0.3 0.4\n' > "$SMOKE_DIR/watch/a.fvec"
 printf '1 0.8 0.9\n' > "$SMOKE_DIR/watch/b.fvec"
 target/release/ferret serve --db "$SMOKE_DIR/db" --watch "$SMOKE_DIR/watch" --dim 2 \
-    --max-inflight 8 --filter-strategy indexed \
+    --max-inflight 8 --filter-strategy indexed --sketch-strategy one-pass \
     --tcp 127.0.0.1:0 --http 127.0.0.1:0 > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 HTTP_ADDR=""
@@ -96,6 +102,15 @@ echo "$METRICS" | grep "^ferret_query_stage_seconds" | grep -q 'strategy="indexe
     || { echo "/metrics filter stage missing indexed strategy label:"; echo "$METRICS" | grep '^ferret_query_stage' | head -n 20; exit 1; }
 echo "$METRICS" | grep -q "^ferret_index_memory_bytes" \
     || { echo "/metrics missing ferret_index_memory_bytes:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+# The server ran with --sketch-strategy one-pass: the eagerly registered
+# ingest series exist and the sketch stage timer of the filter-mode
+# search above carries the one-pass strategy label.
+for series in ferret_sketch_objects_total ferret_sketch_objects_per_sec; do
+    echo "$METRICS" | grep -q "^$series" \
+        || { echo "/metrics missing $series:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+done
+echo "$METRICS" | grep "^ferret_query_stage_seconds" | grep 'stage="sketch"' | grep -q 'strategy="one-pass"' \
+    || { echo "/metrics sketch stage missing one-pass strategy label:"; echo "$METRICS" | grep '^ferret_query_stage' | head -n 20; exit 1; }
 echo "smoke OK: /metrics served $(echo "$METRICS" | grep -c '^ferret_') ferret series"
 
 echo "CI OK"

@@ -24,7 +24,7 @@ use ferret::core::engine::EngineConfig;
 use ferret::core::filter::FilterStrategy;
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
-use ferret::core::sketch::SketchParams;
+use ferret::core::sketch::{SketchParams, SketchStrategy};
 use ferret::core::telemetry::MetricsRegistry;
 use ferret::datatypes::generic::FvecExtractor;
 use ferret::query::{
@@ -43,6 +43,7 @@ struct Options {
     scan_interval: u64,
     threads: Parallelism,
     filter_strategy: FilterStrategy,
+    sketch_strategy: SketchStrategy,
     workers: Option<usize>,
     max_inflight: Option<usize>,
     telemetry: bool,
@@ -52,7 +53,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--filter-strategy scan|indexed|auto] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--filter-strategy scan|indexed|auto]\n                [--sketch-strategy classic|one-pass] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial] [--sketch-strategy classic|one-pass]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -69,6 +70,7 @@ fn parse_options(args: &[String]) -> Options {
         scan_interval: 5,
         threads: Parallelism::Auto,
         filter_strategy: FilterStrategy::Auto,
+        sketch_strategy: SketchStrategy::Classic,
         workers: None,
         max_inflight: None,
         telemetry: true,
@@ -117,6 +119,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--filter-strategy" => {
                 opts.filter_strategy = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--sketch-strategy" => {
+                opts.sketch_strategy = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
             "--workers" => {
@@ -217,6 +223,7 @@ fn open_service(opts: &Options) -> FerretService {
     let mut config = EngineConfig::basic(params, 0xFE44E7);
     config.parallelism = opts.threads;
     config.filter_strategy = opts.filter_strategy;
+    config.sketch_strategy = opts.sketch_strategy;
     match FerretService::open(&db, config, DbOptions::default()) {
         Ok(svc) => svc,
         Err(e) => {

@@ -206,14 +206,25 @@ fn shutdown_drains_in_flight_commands() {
         hold: Some(Duration::from_millis(150)),
     };
     let admission = Arc::new(AdmissionControl::new(0, None));
-    let server = Server::start_with(Arc::clone(&svc), "127.0.0.1:0", config, admission).unwrap();
+    let server = Server::start_with(
+        Arc::clone(&svc),
+        "127.0.0.1:0",
+        config,
+        Arc::clone(&admission),
+    )
+    .unwrap();
     let addr = server.addr();
     let inflight = std::thread::spawn(move || {
         let mut client = Client::connect(addr).unwrap();
         client.send("query id=0 k=2 mode=brute").unwrap()
     });
-    // Give the query time to be admitted, then stop mid-hold.
-    std::thread::sleep(Duration::from_millis(50));
+    // Wait until the query is actually admitted (a fixed sleep loses
+    // this race on a loaded 1-core host), then stop mid-hold.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while admission.inflight() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(admission.inflight() > 0, "query was never admitted");
     server.stop();
     let reply = inflight.join().unwrap();
     assert!(reply.starts_with("OK 2"), "{reply}");

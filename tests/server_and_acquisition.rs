@@ -190,17 +190,20 @@ fn metrics_endpoint_end_to_end() {
     // The query pipeline behind /search recorded per-stage latencies.
     assert_eq!(get("ferret_queries_total{mode=\"filtering\"}"), 3.0);
     assert_eq!(get("ferret_query_seconds_count{mode=\"filtering\"}"), 3.0);
-    for stage in ["sketch", "rank"] {
-        assert_eq!(
-            get(&format!(
-                "ferret_query_stage_seconds_count{{mode=\"filtering\",stage=\"{stage}\"}}"
-            )),
-            3.0,
-            "stage {stage} not instrumented\n{body}"
-        );
-    }
-    // The filter stage additionally records which strategy served it; this
-    // corpus is below the auto-index threshold, so the scan path handled it.
+    assert_eq!(
+        get("ferret_query_stage_seconds_count{mode=\"filtering\",stage=\"rank\"}"),
+        3.0,
+        "rank stage not instrumented\n{body}"
+    );
+    // The sketch stage records which construction strategy built the
+    // query sketch (classic unless configured otherwise), and the filter
+    // stage which strategy served it; this corpus is below the auto-index
+    // threshold, so the scan path handled it.
+    assert_eq!(
+        get("ferret_query_stage_seconds_count{mode=\"filtering\",stage=\"sketch\",strategy=\"classic\"}"),
+        3.0,
+        "sketch stage not instrumented\n{body}"
+    );
     assert_eq!(
         get("ferret_query_stage_seconds_count{mode=\"filtering\",stage=\"filter\",strategy=\"scan\"}"),
         3.0,
