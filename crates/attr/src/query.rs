@@ -18,7 +18,7 @@
 //! OP     := ">" | "<" | ">=" | "<=" | "="
 //! ```
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use ferret_core::object::ObjectId;
@@ -386,6 +386,72 @@ impl Query {
             Query::Range { field, lo, hi } => index.match_range(field, *lo, *hi),
         }
     }
+
+    /// Evaluates the query and scores each match by how many leaf
+    /// predicates it satisfied: each matched `Term`/`AnyField`/`Range`
+    /// (and each satisfied `Not`) contributes 1.0, `Or` sums the scores
+    /// of its matching children, and `And` keeps only ids matching every
+    /// child with their child scores summed. The key set is exactly
+    /// [`Query::eval`]'s result; only the weights differ, so fusion
+    /// ranking can prefer objects matching more clauses of a disjunction.
+    pub fn eval_scored(&self, index: &AttrIndex) -> HashMap<ObjectId, f64> {
+        match self {
+            Query::And(parts) => {
+                if parts.is_empty() {
+                    return index.all_ids().iter().map(|&id| (id, 1.0)).collect();
+                }
+                let mut maps: Vec<HashMap<ObjectId, f64>> =
+                    parts.iter().map(|p| p.eval_scored(index)).collect();
+                // Intersect starting from the smallest map.
+                maps.sort_by_key(HashMap::len);
+                let mut result = maps.remove(0);
+                for m in maps {
+                    result.retain(|id, _| m.contains_key(id));
+                    if result.is_empty() {
+                        break;
+                    }
+                    for (id, score) in result.iter_mut() {
+                        *score += m[id];
+                    }
+                }
+                result
+            }
+            Query::Or(parts) => {
+                let mut result: HashMap<ObjectId, f64> = HashMap::new();
+                for p in parts {
+                    for (id, score) in p.eval_scored(index) {
+                        *result.entry(id).or_insert(0.0) += score;
+                    }
+                }
+                result
+            }
+            Query::Not(inner) => {
+                let matched = inner.eval(index);
+                index
+                    .all_ids()
+                    .iter()
+                    .copied()
+                    .filter(|id| !matched.contains(id))
+                    .map(|id| (id, 1.0))
+                    .collect()
+            }
+            Query::Term { field, token } => index
+                .match_token(field, token)
+                .into_iter()
+                .map(|id| (id, 1.0))
+                .collect(),
+            Query::AnyField { token } => index
+                .match_any_field(token)
+                .into_iter()
+                .map(|id| (id, 1.0))
+                .collect(),
+            Query::Range { field, lo, hi } => index
+                .match_range(field, *lo, *hi)
+                .into_iter()
+                .map(|id| (id, 1.0))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -514,5 +580,47 @@ mod tests {
     #[test]
     fn not_of_everything_is_empty() {
         assert_eq!(eval("NOT (caption:red OR caption:blue)").len(), 0);
+    }
+
+    fn eval_scored(q: &str) -> HashMap<u64, f64> {
+        Query::parse(q)
+            .unwrap()
+            .eval_scored(&index())
+            .into_iter()
+            .map(|(id, s)| (id.0, s))
+            .collect()
+    }
+
+    #[test]
+    fn scored_keys_match_unscored_eval() {
+        for q in [
+            "caption:red",
+            "caption:red OR collection:corel",
+            "caption:red AND collection:corel",
+            "NOT collection:corel",
+            "year>2001 AND year<2005",
+            "caption:missing",
+        ] {
+            let keys: HashSet<u64> = eval_scored(q).into_keys().collect();
+            assert_eq!(keys, eval(q), "key set diverged for {q}");
+        }
+    }
+
+    #[test]
+    fn or_sums_matching_children() {
+        // Object 1 matches both disjuncts, objects 2 and 3 one each.
+        let scores = eval_scored("caption:red OR collection:corel");
+        assert_eq!(scores[&1], 2.0);
+        assert_eq!(scores[&2], 1.0);
+        assert_eq!(scores[&3], 1.0);
+    }
+
+    #[test]
+    fn and_sums_child_scores() {
+        let scores = eval_scored("caption:red AND collection:corel");
+        assert_eq!(scores, HashMap::from([(1, 2.0)]));
+        // A nested OR's multiplicity carries through the AND.
+        let scores = eval_scored("(caption:red OR year<2002) AND collection:corel");
+        assert_eq!(scores, HashMap::from([(1, 3.0)]));
     }
 }

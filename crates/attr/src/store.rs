@@ -149,6 +149,15 @@ impl AttrStore {
     ) -> Result<std::collections::HashSet<ObjectId>, crate::query::ParseError> {
         Ok(Query::parse(query)?.eval(&self.index))
     }
+
+    /// Parses and evaluates a query string, scoring each match by the
+    /// number of satisfied leaf predicates (see [`Query::eval_scored`]).
+    pub fn search_scored_str(
+        &self,
+        query: &str,
+    ) -> Result<std::collections::HashMap<ObjectId, f64>, crate::query::ParseError> {
+        Ok(Query::parse(query)?.eval_scored(&self.index))
+    }
 }
 
 #[cfg(test)]

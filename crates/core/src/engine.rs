@@ -142,6 +142,43 @@ impl EngineConfig {
 /// `B` hash tables per query segment.
 pub const AUTO_INDEX_MIN_OBJECTS: usize = 256;
 
+/// Maps a ranking distance to a similarity score in `(0, 1]`: `1 / (1 + d)`.
+///
+/// Monotone decreasing in the distance, so similarity order always equals
+/// distance order; distance `0` is similarity `1`. This is the scale both
+/// the `min_similarity` threshold and weighted fusion scoring use.
+pub fn similarity_from_distance(d: f64) -> f64 {
+    1.0 / (1.0 + d)
+}
+
+/// How a hybrid query blends the attribute-match ranking with the
+/// similarity (EMD) ranking.
+///
+/// The engine itself never fuses — it has no attribute index. Fusion is
+/// interpreted by the service layer (`ferret-query`), which owns both
+/// rankings; the mode travels in [`QueryOptions`] so one options value
+/// describes the whole query. Both modes order results by
+/// `(score descending, object id ascending)`, a deterministic total order.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FusionMode {
+    /// No fusion: plain similarity ranking (possibly attribute-restricted).
+    #[default]
+    None,
+    /// Reciprocal rank fusion: `score = Σ_lists 1 / (k + rank)` with ranks
+    /// starting at 1. Rank-based, so it needs no score normalization.
+    Rrf {
+        /// The rank-smoothing constant (60 is the conventional default).
+        k: u32,
+    },
+    /// Weighted score merge: `score = attr_weight · attr_score_normalized +
+    /// (1 − attr_weight) · similarity`, with the attribute score normalized
+    /// by the largest attribute score in the result set.
+    Weighted {
+        /// Weight of the attribute ranking in `[0, 1]`.
+        attr_weight: f64,
+    },
+}
+
 /// Per-query options.
 ///
 /// Marked `#[non_exhaustive]` so new knobs can be added without breaking
@@ -171,6 +208,19 @@ pub struct QueryOptions {
     /// feature vectors", paper §4.1.4). Must match the query's segment
     /// count; weights are re-normalized.
     pub weight_override: Option<Vec<f32>>,
+    /// How a hybrid query blends attribute and similarity rankings. The
+    /// engine ignores this (it has no attribute ranking); the service
+    /// layer interprets it. See [`FusionMode`].
+    pub fusion: FusionMode,
+    /// Drop results whose similarity `1 / (1 + distance)` falls below this
+    /// threshold (must lie in `[0, 1]`). Applied after ranking, so it only
+    /// shrinks the result list.
+    pub min_similarity: Option<f64>,
+    /// Cap the final result list at this many entries (must be > 0).
+    /// Unlike `k` — the size of the ranked similarity pool — the limit is
+    /// applied *after* the min-similarity threshold (and, in the service
+    /// layer, after fusion).
+    pub limit: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -181,6 +231,9 @@ impl Default for QueryOptions {
             filter: FilterParams::default(),
             restrict: None,
             weight_override: None,
+            fusion: FusionMode::None,
+            min_similarity: None,
+            limit: None,
         }
     }
 }
@@ -242,6 +295,53 @@ impl QueryOptions {
     pub fn with_weights(mut self, weights: Vec<f32>) -> Self {
         self.weight_override = Some(weights);
         self
+    }
+
+    /// Sets the fusion mode (interpreted by the service layer).
+    pub fn with_fusion(mut self, fusion: FusionMode) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Drops results whose similarity falls below `threshold`.
+    pub fn with_min_similarity(mut self, threshold: f64) -> Self {
+        self.min_similarity = Some(threshold);
+        self
+    }
+
+    /// Caps the final result list at `limit` entries.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Validates the result-shaping knobs (`min_similarity`, `limit`).
+    fn validate_shape(&self) -> Result<()> {
+        if let Some(ms) = self.min_similarity {
+            if !ms.is_finite() || !(0.0..=1.0).contains(&ms) {
+                return Err(CoreError::InvalidQuery(format!(
+                    "min similarity {ms} outside [0, 1]"
+                )));
+            }
+        }
+        if self.limit == Some(0) {
+            return Err(CoreError::InvalidQuery("limit must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Applies the result-shaping knobs to a ranked result list: the
+    /// min-similarity threshold first, then the limit. Shaping only ever
+    /// removes entries from the tail region; the surviving prefix order is
+    /// untouched, so shaped results stay a prefix-consistent view of the
+    /// unshaped ranking.
+    pub fn apply_shape(&self, results: &mut Vec<SearchResult>) {
+        if let Some(ms) = self.min_similarity {
+            results.retain(|r| similarity_from_distance(r.distance) >= ms);
+        }
+        if let Some(limit) = self.limit {
+            results.truncate(limit);
+        }
     }
 }
 
@@ -478,6 +578,18 @@ impl SearchEngine {
                 "Ingest sketch-construction throughput of the most recent batch.",
                 &[("strategy", strategy)],
             );
+            // Pushdown counters likewise appear at zero so dashboards can
+            // tell "no hybrid queries yet" from "series missing".
+            registry.counter(
+                "ferret_pushdown_queries_total",
+                "Filter-stage queries that carried an attribute candidate set.",
+                &[],
+            );
+            registry.counter(
+                "ferret_pushdown_skipped_total",
+                "Objects excluded before heap admission by predicate pushdown.",
+                &[],
+            );
         }
     }
 
@@ -701,6 +813,7 @@ impl SearchEngine {
         if options.k == 0 {
             return Err(CoreError::InvalidQuery("k must be > 0".into()));
         }
+        options.validate_shape()?;
         let reweighted;
         let query = match &options.weight_override {
             Some(weights) => {
@@ -718,7 +831,7 @@ impl SearchEngine {
             elapsed: Duration::ZERO,
         };
         let mut trace = self.telemetry.is_some().then(QueryTrace::default);
-        let results = match options.mode {
+        let mut results = match options.mode {
             QueryMode::BruteForceOriginal => {
                 self.query_brute_original(query, options, &mut stats, &mut trace)?
             }
@@ -727,6 +840,7 @@ impl SearchEngine {
             }
             QueryMode::Filtering => self.query_filtering(query, options, &mut stats, &mut trace)?,
         };
+        options.apply_shape(&mut results);
         stats.elapsed = start.elapsed();
         self.finish_trace(&mut trace, &stats, results.len());
         Ok(QueryResponse {
@@ -837,6 +951,7 @@ impl SearchEngine {
     pub fn query_by_id(&self, id: ObjectId, options: &QueryOptions) -> Result<QueryResponse> {
         match options.mode {
             QueryMode::BruteForceSketch => {
+                options.validate_shape()?;
                 // Sketch-only queries can be seeded without originals.
                 let mut seed = self
                     .sketches
@@ -868,7 +983,9 @@ impl SearchEngine {
                     elapsed: Duration::ZERO,
                 };
                 let mut trace = self.telemetry.is_some().then(QueryTrace::default);
-                let results = self.rank_all_by_sketch(&seed, options, &mut stats, &mut trace)?;
+                let mut results =
+                    self.rank_all_by_sketch(&seed, options, &mut stats, &mut trace)?;
+                options.apply_shape(&mut results);
                 stats.elapsed = start.elapsed();
                 self.finish_trace(&mut trace, &stats, results.len());
                 Ok(QueryResponse {
@@ -1140,6 +1257,30 @@ impl SearchEngine {
                 "Index buckets skipped because their block value differed from the query's.",
                 &[],
                 probe.buckets_pruned as u64,
+            );
+            registry.inc_counter(
+                "ferret_filter_restrict_pruned_total",
+                "Index entries skipped inside the probe because the attribute \
+                 candidate set excluded them.",
+                &[],
+                probe.restrict_pruned as u64,
+            );
+        }
+        if let (Some(registry), Some(allowed)) = (&self.telemetry, &options.restrict) {
+            // Predicate pushdown: count queries that carried a candidate
+            // set and how many corpus objects it let the filter skip.
+            registry.inc_counter(
+                "ferret_pushdown_queries_total",
+                "Filter-stage queries that carried an attribute candidate set.",
+                &[],
+                1,
+            );
+            let skipped = self.order.iter().filter(|id| !allowed.contains(id)).count();
+            registry.inc_counter(
+                "ferret_pushdown_skipped_total",
+                "Objects excluded before heap admission by predicate pushdown.",
+                &[],
+                skipped as u64,
             );
         }
         stats.objects_scanned = fstats.objects_scanned;

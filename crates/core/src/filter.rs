@@ -359,6 +359,7 @@ impl FilterScan {
                         continue; // tombstoned
                     };
                     if restrict.is_some_and(|set| !set.contains(&oid)) {
+                        probe.restrict_pruned += 1;
                         continue;
                     }
                     stats.segments_scanned += 1;
@@ -433,6 +434,9 @@ pub struct ProbeStats {
     /// Survivors rejected on the prefix distance alone, before a full
     /// popcount.
     pub prefix_pruned: usize,
+    /// Survivors skipped because the caller's candidate restriction
+    /// (predicate pushdown) excluded their object.
+    pub restrict_pruned: usize,
 }
 
 impl ProbeStats {
@@ -441,6 +445,7 @@ impl ProbeStats {
         self.buckets_pruned += other.buckets_pruned;
         self.entries_verified += other.entries_verified;
         self.prefix_pruned += other.prefix_pruned;
+        self.restrict_pruned += other.restrict_pruned;
     }
 }
 

@@ -1,0 +1,286 @@
+//! Epoch-keyed result cache for read-only protocol queries.
+//!
+//! Entries are keyed on the *normalized query string* (every query
+//! parameter except the output format) and stamped with the service's
+//! **index epoch** at fill time. Every mutation — insert, remove,
+//! sketch retune/rebuild — bumps the epoch, so a lookup only hits when
+//! the stored stamp equals the current epoch: a hit is provably the
+//! same reply a cold execution would produce right now (rendering is
+//! deterministic, so the rendered bytes match too), and a stale entry
+//! can never be served — it is dropped on sight instead.
+//!
+//! Eviction is LRU by insertion/touch order, bounded by entry count;
+//! the approximate resident footprint (keys + rendered reply sizes) is
+//! published through `ferret_cache_memory_bytes`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ferret_core::telemetry::MetricsRegistry;
+use parking_lot::Mutex;
+
+use crate::protocol::{render_response, Response};
+
+struct Entry {
+    epoch: u64,
+    resp: Response,
+    bytes: usize,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Touch order: front = least recently used. May hold stale
+    /// duplicates of re-touched keys; eviction skips them.
+    order: VecDeque<String>,
+    bytes: usize,
+}
+
+/// A bounded, epoch-invalidated LRU cache of query responses.
+///
+/// Capacity 0 disables the cache entirely (lookups miss, stores are
+/// dropped), which keeps the disabled path allocation-free.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    epoch: AtomicU64,
+    capacity: usize,
+    telemetry: Mutex<Option<Arc<MetricsRegistry>>>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` responses.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+            epoch: AtomicU64::new(0),
+            capacity,
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Wires a metrics registry in and eagerly registers the cache
+    /// series so they appear (at zero) before any traffic.
+    pub fn set_telemetry(&self, registry: Option<Arc<MetricsRegistry>>) {
+        if let Some(registry) = &registry {
+            registry.counter(
+                "ferret_cache_hits_total",
+                "Query replies served from the result cache.",
+                &[],
+            );
+            registry.counter(
+                "ferret_cache_misses_total",
+                "Query-cache lookups that required a cold execution.",
+                &[],
+            );
+            registry.counter(
+                "ferret_cache_evictions_total",
+                "Cache entries dropped (LRU capacity or stale epoch).",
+                &[],
+            );
+            registry.gauge(
+                "ferret_cache_memory_bytes",
+                "Approximate resident bytes of cached keys and replies.",
+                &[],
+            );
+        }
+        *self.telemetry.lock() = registry;
+    }
+
+    /// The current index epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Invalidates every cached reply by advancing the epoch. Called on
+    /// any mutation of the underlying index; O(1) — stale entries are
+    /// dropped lazily as lookups encounter them or LRU pushes them out.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Whether the cache can ever store anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks `key` up; returns the cached response only if it was
+    /// stored at the current epoch. A stale entry is removed (counted
+    /// as an eviction) and reported as a miss.
+    pub fn lookup(&self, key: &str) -> Option<Response> {
+        if !self.enabled() {
+            return None;
+        }
+        let epoch = self.epoch();
+        let mut inner = self.inner.lock();
+        let result = match inner.entries.get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                let resp = entry.resp.clone();
+                inner.order.push_back(key.to_string());
+                Some(resp)
+            }
+            Some(_) => {
+                let entry = inner.entries.remove(key).expect("entry present");
+                inner.bytes -= entry.bytes;
+                self.count("ferret_cache_evictions_total", 1);
+                None
+            }
+            None => None,
+        };
+        let bytes = inner.bytes;
+        drop(inner);
+        match &result {
+            Some(_) => self.count("ferret_cache_hits_total", 1),
+            None => self.count("ferret_cache_misses_total", 1),
+        }
+        self.publish_bytes(bytes);
+        result
+    }
+
+    /// Stores a response under `key`, stamped with the current epoch,
+    /// evicting least-recently-used entries beyond capacity.
+    pub fn store(&self, key: String, resp: Response) {
+        if !self.enabled() {
+            return;
+        }
+        let epoch = self.epoch();
+        // Approximate footprint: the key plus the rendered reply size.
+        let entry_bytes = key.len() + render_response(&resp).len();
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += entry_bytes;
+        inner.order.push_back(key.clone());
+        inner.entries.insert(
+            key,
+            Entry {
+                epoch,
+                resp,
+                bytes: entry_bytes,
+            },
+        );
+        let mut evicted = 0u64;
+        while inner.entries.len() > self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            // The touch queue may hold stale duplicates of keys that
+            // were re-touched (and thus re-pushed) later; only the
+            // *last* occurrence speaks for the entry.
+            if inner.order.iter().any(|k| k == &victim) {
+                continue;
+            }
+            if let Some(entry) = inner.entries.remove(&victim) {
+                inner.bytes -= entry.bytes;
+                evicted += 1;
+            }
+        }
+        let bytes = inner.bytes;
+        drop(inner);
+        if evicted > 0 {
+            self.count("ferret_cache_evictions_total", evicted);
+        }
+        self.publish_bytes(bytes);
+    }
+
+    fn count(&self, name: &'static str, n: u64) {
+        if let Some(registry) = self.telemetry.lock().as_ref() {
+            registry.inc_counter(name, "", &[], n);
+        }
+    }
+
+    fn publish_bytes(&self, bytes: usize) {
+        if let Some(registry) = self.telemetry.lock().as_ref() {
+            registry
+                .gauge(
+                    "ferret_cache_memory_bytes",
+                    "Approximate resident bytes of cached keys and replies.",
+                    &[],
+                )
+                .set(bytes as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferret_core::object::ObjectId;
+
+    fn resp(id: u64) -> Response {
+        Response::Results(vec![(ObjectId(id), 0.5)])
+    }
+
+    #[test]
+    fn hit_only_at_matching_epoch() {
+        let cache = ResultCache::new(4);
+        cache.store("q1".into(), resp(7));
+        assert_eq!(cache.lookup("q1"), Some(resp(7)));
+        cache.bump_epoch();
+        assert_eq!(cache.lookup("q1"), None, "stale entry must not hit");
+        // The stale entry was dropped, not just skipped.
+        assert_eq!(cache.lookup("q1"), None);
+    }
+
+    #[test]
+    fn lru_eviction_respects_touch_order() {
+        let cache = ResultCache::new(2);
+        cache.store("a".into(), resp(1));
+        cache.store("b".into(), resp(2));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.lookup("a").is_some());
+        cache.store("c".into(), resp(3));
+        assert!(cache.lookup("a").is_some());
+        assert!(cache.lookup("b").is_none());
+        assert!(cache.lookup("c").is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let cache = ResultCache::new(0);
+        cache.store("a".into(), resp(1));
+        assert!(cache.lookup("a").is_none());
+    }
+
+    #[test]
+    fn restore_after_bump_serves_fresh_reply() {
+        let cache = ResultCache::new(4);
+        cache.store("q".into(), resp(1));
+        cache.bump_epoch();
+        cache.store("q".into(), resp(2));
+        assert_eq!(cache.lookup("q"), Some(resp(2)));
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_evictions_and_bytes() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let cache = ResultCache::new(1);
+        cache.set_telemetry(Some(Arc::clone(&registry)));
+        assert!(cache.lookup("a").is_none()); // miss
+        cache.store("a".into(), resp(1));
+        assert!(cache.lookup("a").is_some()); // hit
+        cache.store("b".into(), resp(2)); // evicts "a"
+        assert_eq!(
+            registry.counter_value("ferret_cache_hits_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("ferret_cache_misses_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("ferret_cache_evictions_total", &[]),
+            Some(1)
+        );
+        let gauge = registry.gauge("ferret_cache_memory_bytes", "", &[]);
+        assert_eq!(
+            gauge.get(),
+            ("b".len() + render_response(&resp(2)).len()) as i64
+        );
+    }
+}

@@ -23,7 +23,7 @@ use parking_lot::RwLock;
 
 use crate::admission::AdmissionControl;
 use crate::server::{ConnQueue, ServeConfig};
-use crate::service::{FerretService, Response};
+use crate::service::FerretService;
 
 /// Percent-decodes a URL component (`%41` → `A`, `+` → space).
 pub fn url_decode(s: &str) -> String {
@@ -69,53 +69,8 @@ pub fn parse_query_string(qs: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Escapes a string for embedding in JSON.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders a service [`Response`] as JSON.
-pub fn response_to_json(resp: &Response) -> String {
-    match resp {
-        Response::Results(results) => {
-            let items: Vec<String> = results
-                .iter()
-                .map(|(id, d)| format!("{{\"id\":{},\"distance\":{:.6}}}", id.0, d))
-                .collect();
-            format!("{{\"ok\":true,\"results\":[{}]}}", items.join(","))
-        }
-        Response::Ids(ids) => {
-            let items: Vec<String> = ids.iter().map(|id| id.0.to_string()).collect();
-            format!("{{\"ok\":true,\"ids\":[{}]}}", items.join(","))
-        }
-        Response::Stat {
-            objects,
-            segments,
-            sketch_bytes,
-            feature_bytes,
-            index_bytes,
-        } => format!(
-            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes},\"index_bytes\":{index_bytes}}}"
-        ),
-        Response::Help => format!(
-            "{{\"ok\":true,\"help\":\"{}\"}}",
-            json_escape(crate::protocol::HELP_TEXT)
-        ),
-        Response::Bye | Response::Ok => "{\"ok\":true}".to_string(),
-    }
-}
+use crate::protocol::json_escape;
+pub use crate::protocol::response_to_json;
 
 const INDEX_HTML: &str = "<!DOCTYPE html>\n<html><head><title>Ferret similarity search</title></head>\n<body>\n<h1>Ferret similarity search</h1>\n<form action=\"/search\" method=\"get\">\n  seed object id: <input name=\"id\" value=\"0\">\n  results: <input name=\"k\" value=\"10\">\n  mode: <select name=\"mode\"><option>filter</option><option>sketch</option><option>brute</option></select>\n  attributes: <input name=\"attr\" value=\"\">\n  <button type=\"submit\">search</button>\n</form>\n<p>Endpoints: /search?id=&amp;k=&amp;mode=&amp;attr= &middot; /attr?q= &middot; /stat &middot; /metrics &middot; /trace?id=</p>\n</body></html>\n";
 
@@ -230,7 +185,18 @@ pub fn route_with(
             if let Some(id) = get("id") {
                 line.push_str(&format!(" id={id}"));
             }
-            for key in ["k", "mode", "r", "cand", "threshold"] {
+            for key in [
+                "k",
+                "mode",
+                "r",
+                "cand",
+                "threshold",
+                "fusion",
+                "rrfk",
+                "fw",
+                "minsim",
+                "limit",
+            ] {
                 if let Some(v) = get(key) {
                     line.push_str(&format!(" {key}={v}"));
                 }

@@ -28,15 +28,20 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
+pub mod fusion;
 pub mod http;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use admission::{AdmissionControl, AdmissionGuard};
+pub use cache::ResultCache;
+pub use fusion::{rrf_fuse, weighted_fuse, FusedHit};
 pub use http::HttpServer;
 pub use protocol::{
-    parse_command, render_error, render_response, Command, ProtocolError, BUSY_LINE, HELP_TEXT,
+    parse_command, render_error, render_reply, render_response, response_to_json, Command,
+    ProtocolError, BUSY_LINE, HELP_TEXT,
 };
 pub use server::{Client, ServeConfig, Server};
 pub use service::{

@@ -13,9 +13,11 @@
 //! quit
 //! ```
 
-use ferret_core::engine::QueryMode;
+use ferret_core::engine::{FusionMode, QueryMode};
 use ferret_core::filter::FilterParams;
 use ferret_core::object::ObjectId;
+
+use crate::fusion::FusedHit;
 
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +36,17 @@ pub enum Command {
         attr: Option<String>,
         /// Optional adjusted query segment weights (paper §4.1.4).
         weights: Option<Vec<f32>>,
+        /// How (whether) to fuse the attribute rank with the
+        /// similarity rank. Requires `attr` when not `None`.
+        fusion: FusionMode,
+        /// Drop results whose similarity `1/(1+distance)` falls below
+        /// this threshold.
+        min_similarity: Option<f64>,
+        /// Cap on the number of returned results (after fusion).
+        limit: Option<usize>,
+        /// Render the reply as single-line JSON instead of the text
+        /// protocol's `OK`-prefixed form.
+        json: bool,
     },
     /// Attribute-only search.
     Attr {
@@ -75,6 +88,8 @@ impl Command {
 pub enum Response {
     /// Ranked similarity results: `(id, distance)`.
     Results(Vec<(ObjectId, f64)>),
+    /// Fusion-ranked hybrid results (fused score, optional distance).
+    Fused(Vec<FusedHit>),
     /// Attribute search hits.
     Ids(Vec<ObjectId>),
     /// Statistics summary.
@@ -106,6 +121,17 @@ pub fn render_response(resp: &Response) -> String {
             let mut out = format!("OK {}\n", results.len());
             for (id, d) in results {
                 out.push_str(&format!("{} {:.6}\n", id.0, d));
+            }
+            out
+        }
+        Response::Fused(hits) => {
+            let mut out = format!("OK {}\n", hits.len());
+            for h in hits {
+                match h.distance {
+                    Some(d) => out.push_str(&format!("{} {:.6} {:.6}\n", h.id.0, h.score, d)),
+                    // Attribute-only hits have no similarity distance.
+                    None => out.push_str(&format!("{} {:.6} -\n", h.id.0, h.score)),
+                }
             }
             out
         }
@@ -141,6 +167,79 @@ pub fn render_error(message: &dyn std::fmt::Display) -> String {
 /// The protocol line an overloaded server answers with when admission
 /// control rejects a query (clients should back off and retry).
 pub const BUSY_LINE: &str = "ERR BUSY too many in-flight queries, retry later\n";
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a service [`Response`] as JSON.
+pub fn response_to_json(resp: &Response) -> String {
+    match resp {
+        Response::Results(results) => {
+            let items: Vec<String> = results
+                .iter()
+                .map(|(id, d)| format!("{{\"id\":{},\"distance\":{:.6}}}", id.0, d))
+                .collect();
+            format!("{{\"ok\":true,\"results\":[{}]}}", items.join(","))
+        }
+        Response::Fused(hits) => {
+            let items: Vec<String> = hits
+                .iter()
+                .map(|h| match h.distance {
+                    Some(d) => format!(
+                        "{{\"id\":{},\"score\":{:.6},\"distance\":{:.6}}}",
+                        h.id.0, h.score, d
+                    ),
+                    None => format!(
+                        "{{\"id\":{},\"score\":{:.6},\"distance\":null}}",
+                        h.id.0, h.score
+                    ),
+                })
+                .collect();
+            format!("{{\"ok\":true,\"results\":[{}]}}", items.join(","))
+        }
+        Response::Ids(ids) => {
+            let items: Vec<String> = ids.iter().map(|id| id.0.to_string()).collect();
+            format!("{{\"ok\":true,\"ids\":[{}]}}", items.join(","))
+        }
+        Response::Stat {
+            objects,
+            segments,
+            sketch_bytes,
+            feature_bytes,
+            index_bytes,
+        } => format!(
+            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes},\"index_bytes\":{index_bytes}}}"
+        ),
+        Response::Help => format!("{{\"ok\":true,\"help\":\"{}\"}}", json_escape(HELP_TEXT)),
+        Response::Bye | Response::Ok => "{\"ok\":true}".to_string(),
+    }
+}
+
+/// Renders a reply in the form the command asked for: single-line JSON
+/// when the command was a `format=json` query, otherwise the text
+/// protocol. Errors always render as `ERR` text lines regardless of the
+/// requested format, so a client can detect failure without parsing.
+pub fn render_reply(cmd: &Command, resp: &Response) -> String {
+    if matches!(cmd, Command::Query { json: true, .. }) {
+        let mut out = response_to_json(resp);
+        out.push('\n');
+        return out;
+    }
+    render_response(resp)
+}
 
 impl Response {
     /// Renders the protocol text form ([`render_response`]).
@@ -207,6 +306,12 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
             let mut filter = FilterParams::default();
             let mut attr = None;
             let mut weights = None;
+            let mut fusion_name: Option<String> = None;
+            let mut rrfk: Option<u32> = None;
+            let mut fw: Option<f64> = None;
+            let mut min_similarity: Option<f64> = None;
+            let mut limit: Option<usize> = None;
+            let mut json = false;
             for token in &tokens[1..] {
                 let (key, value) = parse_kv(token)?;
                 match key {
@@ -249,6 +354,60 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
                             })?);
                     }
                     "attr" => attr = Some(value.to_string()),
+                    "fusion" => {
+                        match value {
+                            "none" | "rrf" | "weighted" => {}
+                            other => {
+                                return Err(ProtocolError(format!("unknown fusion {other:?}")));
+                            }
+                        }
+                        fusion_name = Some(value.to_string());
+                    }
+                    "rrfk" => {
+                        let parsed: u32 = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid rrfk {value:?}")))?;
+                        if parsed == 0 {
+                            return Err(ProtocolError("rrfk must be >= 1".into()));
+                        }
+                        rrfk = Some(parsed);
+                    }
+                    "fw" => {
+                        let parsed: f64 = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid fw {value:?}")))?;
+                        if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
+                            return Err(ProtocolError(format!("fw {value:?} outside [0, 1]")));
+                        }
+                        fw = Some(parsed);
+                    }
+                    "minsim" => {
+                        let parsed: f64 = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid minsim {value:?}")))?;
+                        if !parsed.is_finite() || !(0.0..=1.0).contains(&parsed) {
+                            return Err(ProtocolError(format!("minsim {value:?} outside [0, 1]")));
+                        }
+                        min_similarity = Some(parsed);
+                    }
+                    "limit" => {
+                        let parsed: usize = value
+                            .parse()
+                            .map_err(|_| ProtocolError(format!("invalid limit {value:?}")))?;
+                        if parsed == 0 {
+                            return Err(ProtocolError("limit must be >= 1".into()));
+                        }
+                        limit = Some(parsed);
+                    }
+                    "format" => {
+                        json = match value {
+                            "text" => false,
+                            "json" => true,
+                            other => {
+                                return Err(ProtocolError(format!("unknown format {other:?}")));
+                            }
+                        };
+                    }
                     "weights" => {
                         let parsed: Result<Vec<f32>, _> =
                             value.split(',').map(str::parse::<f32>).collect();
@@ -263,6 +422,42 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
                 }
             }
             let id = id.ok_or_else(|| ProtocolError("query requires id=<n>".into()))?;
+            // Cross-parameter validation: fusion needs an attribute
+            // ranking to blend with, and each tuning knob belongs to
+            // exactly one fusion rule.
+            let fusion = match fusion_name.as_deref() {
+                None | Some("none") => {
+                    if rrfk.is_some() {
+                        return Err(ProtocolError("rrfk requires fusion=rrf".into()));
+                    }
+                    if fw.is_some() {
+                        return Err(ProtocolError("fw requires fusion=weighted".into()));
+                    }
+                    FusionMode::None
+                }
+                Some("rrf") => {
+                    if fw.is_some() {
+                        return Err(ProtocolError("fw requires fusion=weighted".into()));
+                    }
+                    FusionMode::Rrf {
+                        k: rrfk.unwrap_or(60),
+                    }
+                }
+                Some("weighted") => {
+                    if rrfk.is_some() {
+                        return Err(ProtocolError("rrfk requires fusion=rrf".into()));
+                    }
+                    FusionMode::Weighted {
+                        attr_weight: fw.unwrap_or(0.5),
+                    }
+                }
+                Some(_) => unreachable!("fusion names validated at parse"),
+            };
+            if fusion != FusionMode::None && attr.is_none() {
+                return Err(ProtocolError(
+                    "fusion requires attr=\"<expr>\" to rank against".into(),
+                ));
+            }
             Ok(Command::Query {
                 id: ObjectId(id),
                 k,
@@ -270,6 +465,10 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
                 filter,
                 attr,
                 weights,
+                fusion,
+                min_similarity,
+                limit,
+                json,
             })
         }
         "attr" => {
@@ -306,6 +505,7 @@ pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
 pub const HELP_TEXT: &str = "\
 commands:
   query id=<n> [k=<n>] [mode=brute|sketch|filter] [r=<n>] [cand=<n>] [threshold=<bits>] [attr=\"<expr>\"] [weights=<w1,w2,...>]
+        [fusion=none|rrf|weighted] [rrfk=<n>] [fw=<0..1>] [minsim=<0..1>] [limit=<n>] [format=text|json]
   attr <expression>
   delete id=<n>
   stat
@@ -429,6 +629,122 @@ mod tests {
     fn quoted_values_keep_spaces() {
         let toks = tokenize("a=\"x y z\" b=2").unwrap();
         assert_eq!(toks, vec!["a=x y z", "b=2"]);
+    }
+
+    #[test]
+    fn parse_fusion_query() {
+        match parse_command("query id=1 attr=\"collection:corel\" fusion=rrf rrfk=30").unwrap() {
+            Command::Query { fusion, .. } => assert_eq!(fusion, FusionMode::Rrf { k: 30 }),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: rrfk=60, fw=0.5.
+        match parse_command("query id=1 attr=\"dog\" fusion=rrf").unwrap() {
+            Command::Query { fusion, .. } => assert_eq!(fusion, FusionMode::Rrf { k: 60 }),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_command("query id=1 attr=\"dog\" fusion=weighted fw=0.75").unwrap() {
+            Command::Query { fusion, .. } => {
+                assert_eq!(fusion, FusionMode::Weighted { attr_weight: 0.75 });
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse_command("query id=1 attr=\"dog\" fusion=weighted").unwrap() {
+            Command::Query { fusion, .. } => {
+                assert_eq!(fusion, FusionMode::Weighted { attr_weight: 0.5 });
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_shape_and_format() {
+        match parse_command("query id=1 minsim=0.25 limit=5 format=json").unwrap() {
+            Command::Query {
+                min_similarity,
+                limit,
+                json,
+                ..
+            } => {
+                assert_eq!(min_similarity, Some(0.25));
+                assert_eq!(limit, Some(5));
+                assert!(json);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // format=text is the explicit default.
+        match parse_command("query id=1 format=text").unwrap() {
+            Command::Query { json, .. } => assert!(!json),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_parameter_combinations_are_validated() {
+        for bad in [
+            // Fusion without an attribute ranking to blend with.
+            "query id=1 fusion=rrf",
+            "query id=1 fusion=weighted",
+            // Knobs tied to the wrong (or no) fusion rule.
+            "query id=1 attr=\"dog\" rrfk=10",
+            "query id=1 attr=\"dog\" fw=0.5",
+            "query id=1 attr=\"dog\" fusion=rrf fw=0.5",
+            "query id=1 attr=\"dog\" fusion=weighted rrfk=10",
+            "query id=1 attr=\"dog\" fusion=none rrfk=10",
+            // Out-of-range values.
+            "query id=1 attr=\"dog\" fusion=rrf rrfk=0",
+            "query id=1 attr=\"dog\" fusion=weighted fw=1.5",
+            "query id=1 attr=\"dog\" fusion=weighted fw=nan",
+            "query id=1 minsim=1.5",
+            "query id=1 minsim=-0.1",
+            "query id=1 minsim=abc",
+            "query id=1 limit=0",
+            "query id=1 limit=x",
+            "query id=1 fusion=bogus",
+            "query id=1 format=xml",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn render_fused_text_and_json() {
+        let resp = Response::Fused(vec![
+            FusedHit {
+                id: ObjectId(3),
+                score: 0.5,
+                distance: Some(0.125),
+            },
+            FusedHit {
+                id: ObjectId(9),
+                score: 0.25,
+                distance: None,
+            },
+        ]);
+        assert_eq!(
+            render_response(&resp),
+            "OK 2\n3 0.500000 0.125000\n9 0.250000 -\n"
+        );
+        assert_eq!(
+            response_to_json(&resp),
+            "{\"ok\":true,\"results\":[{\"id\":3,\"score\":0.500000,\"distance\":0.125000},{\"id\":9,\"score\":0.250000,\"distance\":null}]}"
+        );
+    }
+
+    #[test]
+    fn render_reply_honors_requested_format() {
+        let resp = Response::Results(vec![(ObjectId(1), 0.5)]);
+        let text_cmd = parse_command("query id=1").unwrap();
+        let json_cmd = parse_command("query id=1 format=json").unwrap();
+        assert_eq!(render_reply(&text_cmd, &resp), render_response(&resp));
+        assert_eq!(
+            render_reply(&json_cmd, &resp),
+            "{\"ok\":true,\"results\":[{\"id\":1,\"distance\":0.500000}]}\n"
+        );
+        // Non-query commands always use the text protocol.
+        assert_eq!(
+            render_reply(&Command::Stat, &Response::Ok),
+            render_response(&Response::Ok)
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use parking_lot::RwLock;
 use ferret_core::telemetry::MetricsRegistry;
 
 use crate::admission::AdmissionControl;
-use crate::protocol::{parse_command, render_error, render_response, Command, BUSY_LINE};
+use crate::protocol::{parse_command, render_error, render_reply, Command, BUSY_LINE};
 use crate::service::FerretService;
 
 /// Serving configuration shared by the TCP and HTTP servers.
@@ -159,7 +159,7 @@ impl ServeContext {
             let svc = self.service.read();
             self.observe_lock_wait("read", start.elapsed());
             let reply = match svc.execute_read(command) {
-                Ok(resp) => render_response(&resp),
+                Ok(resp) => render_reply(command, &resp),
                 Err(e) => render_error(&e),
             };
             drop(svc);
@@ -172,7 +172,7 @@ impl ServeContext {
             let mut svc = self.service.write();
             self.observe_lock_wait("write", start.elapsed());
             match svc.execute(command) {
-                Ok(resp) => render_response(&resp),
+                Ok(resp) => render_reply(command, &resp),
                 Err(e) => render_error(&e),
             }
         }

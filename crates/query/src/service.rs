@@ -15,13 +15,17 @@ use parking_lot::Mutex;
 
 use ferret_attr::{AttrStore, Attributes};
 use ferret_core::codec::{decode_object, encode_object};
-use ferret_core::engine::{EngineConfig, QueryOptions, QueryResponse, SearchEngine};
+use ferret_core::engine::{
+    similarity_from_distance, EngineConfig, FusionMode, QueryOptions, QueryResponse, SearchEngine,
+};
 use ferret_core::error::CoreError;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::parallel::Parallelism;
 use ferret_core::telemetry::{MetricsRegistry, QueryTrace, Unit, SIZE_BUCKETS};
 use ferret_store::{Database, DbOptions, StoreError, Vfs};
 
+use crate::cache::ResultCache;
+use crate::fusion::{rank_attr_scores, rrf_fuse, weighted_fuse, FusedHit};
 use crate::protocol::{Command, ProtocolError};
 
 pub use crate::protocol::Response;
@@ -130,6 +134,7 @@ pub struct ServiceBuilder {
     telemetry: Option<Arc<MetricsRegistry>>,
     parallelism: Option<Parallelism>,
     trace_capacity: usize,
+    cache_capacity: usize,
 }
 
 impl ServiceBuilder {
@@ -142,6 +147,7 @@ impl ServiceBuilder {
             telemetry: None,
             parallelism: None,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            cache_capacity: 0,
         }
     }
 
@@ -180,6 +186,13 @@ impl ServiceBuilder {
         self
     }
 
+    /// How many query replies the epoch-keyed result cache retains
+    /// (0 — the default — disables caching entirely).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
     fn finish(self, engine: SearchEngine, attrs: AttrStore, db: Option<Database>) -> FerretService {
         let mut svc = FerretService {
             engine,
@@ -187,6 +200,7 @@ impl ServiceBuilder {
             db,
             telemetry: None,
             traces: Mutex::new(TraceRing::new(self.trace_capacity)),
+            cache: ResultCache::new(self.cache_capacity),
         };
         if let Some(p) = self.parallelism {
             svc.engine.set_parallelism(p);
@@ -240,6 +254,9 @@ pub struct FerretService {
     /// Recent query traces. Behind a mutex so the `&self` read path can
     /// record traces from many threads at once.
     traces: Mutex<TraceRing>,
+    /// Epoch-keyed result cache for protocol queries; every index
+    /// mutation bumps its epoch so hits are never stale.
+    cache: ResultCache,
 }
 
 impl FerretService {
@@ -288,6 +305,7 @@ impl FerretService {
     /// web interface's `/trace` endpoint.
     pub fn enable_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
         self.engine.set_telemetry(Some(Arc::clone(&registry)));
+        self.cache.set_telemetry(Some(Arc::clone(&registry)));
         self.telemetry = Some(registry);
     }
 
@@ -295,7 +313,14 @@ impl FerretService {
     /// the registry when the last handle goes away).
     pub fn disable_telemetry(&mut self) {
         self.engine.set_telemetry(None);
+        self.cache.set_telemetry(None);
         self.telemetry = None;
+    }
+
+    /// The result cache's current index epoch (advances on every
+    /// mutation; useful for asserting invalidation in tests).
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache.epoch()
     }
 
     /// The service's metrics registry, if telemetry is enabled.
@@ -366,6 +391,9 @@ impl FerretService {
         &mut self,
         items: Vec<(ObjectId, DataObject, Option<Attributes>)>,
     ) -> Result<(), ServiceError> {
+        // Invalidate cached replies before any state changes; bumping on
+        // a failed insert merely over-invalidates, which is always safe.
+        self.cache.bump_epoch();
         // Encode attribute payloads before mutating anything so an encoding
         // failure leaves both engine and storage untouched.
         let mut encoded_attrs = Vec::with_capacity(items.len());
@@ -429,6 +457,7 @@ impl FerretService {
         object: DataObject,
         attributes: Option<Attributes>,
     ) -> Result<(), ServiceError> {
+        self.cache.bump_epoch();
         self.engine.insert(id, object.clone())?;
         if let Some(db) = self.db.as_mut() {
             let mut txn = db.begin();
@@ -460,6 +489,7 @@ impl FerretService {
 
     /// Removes an object and its attributes.
     pub fn remove(&mut self, id: ObjectId) -> Result<bool, ServiceError> {
+        self.cache.bump_epoch();
         let present = self.engine.remove(id);
         if let Some(db) = self.db.as_mut() {
             let mut txn = db.begin();
@@ -484,6 +514,7 @@ impl FerretService {
         xor_folds: usize,
         seed: u64,
     ) -> Result<(), ServiceError> {
+        self.cache.bump_epoch();
         if self.engine.is_empty() {
             return Ok(());
         }
@@ -582,6 +613,57 @@ impl FerretService {
         result
     }
 
+    /// Executes a similarity query with fusion ranking: the similarity
+    /// pool (top `k`, unrestricted) is blended with the attribute
+    /// ranking of `attr_expr` under the requested merge rule, then the
+    /// query shape (min-similarity, limit) is applied to the fused
+    /// list. `min_similarity` constrains the *similarity* component, so
+    /// attribute-only hits (no distance) are dropped when it is set.
+    /// `options` describes the similarity pool query only.
+    fn query_fused(
+        &self,
+        req: &FusedRequest<'_>,
+        options: QueryOptions,
+    ) -> Result<Vec<FusedHit>, ServiceError> {
+        let scored = self
+            .attrs
+            .search_scored_str(req.attr_expr)
+            .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+        let attr_rank = rank_attr_scores(&scored);
+        let resp = self.engine.query_by_id(req.id, &options)?;
+        if let Some(trace) = resp.trace {
+            self.record_trace(trace);
+        }
+        let sim: Vec<(ObjectId, f64)> = resp.results.iter().map(|r| (r.id, r.distance)).collect();
+        let (mut hits, mode_label) = match req.fusion {
+            FusionMode::Rrf { k } => (rrf_fuse(&sim, &attr_rank, k), "rrf"),
+            FusionMode::Weighted { attr_weight } => {
+                (weighted_fuse(&sim, &attr_rank, attr_weight), "weighted")
+            }
+            FusionMode::None => {
+                return Err(ServiceError::BadRequest(
+                    "fusion mode required on the fused path".into(),
+                ))
+            }
+        };
+        if let Some(ms) = req.min_similarity {
+            hits.retain(|h| {
+                h.distance
+                    .is_some_and(|d| similarity_from_distance(d) >= ms)
+            });
+        }
+        hits.truncate(req.limit.unwrap_or(req.k));
+        if let Some(reg) = &self.telemetry {
+            reg.inc_counter(
+                "ferret_fusion_queries_total",
+                "Hybrid fusion-ranked queries, by merge rule.",
+                &[("mode", mode_label)],
+                1,
+            );
+        }
+        Ok(hits)
+    }
+
     fn execute_read_inner(&self, command: &Command) -> Result<Response, ServiceError> {
         match command {
             Command::Query {
@@ -591,19 +673,54 @@ impl FerretService {
                 filter,
                 attr,
                 weights,
+                fusion,
+                min_similarity,
+                limit,
+                json: _,
             } => {
+                // The cache key covers every parameter that affects the
+                // response value (the output format only affects its
+                // rendering). A hit skips execution — and therefore
+                // trace recording — entirely.
+                let key = self.cache.enabled().then(|| query_cache_key(command));
+                if let Some(key) = &key {
+                    if let Some(cached) = self.cache.lookup(key) {
+                        return Ok(cached);
+                    }
+                }
                 let mut options = QueryOptions::default()
                     .with_k(*k)
                     .with_mode(*mode)
                     .with_filter(filter.clone());
                 options.weight_override = weights.clone();
-                let resp = self.query(*id, options, attr.as_deref())?;
-                if let Some(trace) = resp.trace {
-                    self.record_trace(trace);
+                let resp = if *fusion == FusionMode::None {
+                    options.min_similarity = *min_similarity;
+                    options.limit = *limit;
+                    let resp = self.query(*id, options, attr.as_deref())?;
+                    if let Some(trace) = resp.trace {
+                        self.record_trace(trace);
+                    }
+                    Response::Results(resp.results.iter().map(|r| (r.id, r.distance)).collect())
+                } else {
+                    let attr_expr = attr.as_deref().ok_or_else(|| {
+                        ServiceError::BadRequest("fusion requires an attr expression".into())
+                    })?;
+                    Response::Fused(self.query_fused(
+                        &FusedRequest {
+                            id: *id,
+                            k: *k,
+                            attr_expr,
+                            fusion: *fusion,
+                            min_similarity: *min_similarity,
+                            limit: *limit,
+                        },
+                        options,
+                    )?)
+                };
+                if let Some(key) = key {
+                    self.cache.store(key, resp.clone());
                 }
-                Ok(Response::Results(
-                    resp.results.iter().map(|r| (r.id, r.distance)).collect(),
-                ))
+                Ok(resp)
             }
             Command::Attr { expression } => {
                 let mut hits: Vec<ObjectId> = self
@@ -647,17 +764,54 @@ impl FerretService {
     }
 
     /// Parses and executes one protocol line, rendering the response (or
-    /// an `ERR` line) as text: parse → [`FerretService::execute`] →
-    /// [`crate::protocol::render_response`].
+    /// an `ERR` line) in the command's requested format: parse →
+    /// [`FerretService::execute`] → [`crate::protocol::render_reply`].
     pub fn execute_line(&mut self, line: &str) -> String {
         match crate::protocol::parse_command(line) {
             Ok(cmd) => match self.execute(&cmd) {
-                Ok(resp) => crate::protocol::render_response(&resp),
+                Ok(resp) => crate::protocol::render_reply(&cmd, &resp),
                 Err(e) => crate::protocol::render_error(&e),
             },
             Err(e) => crate::protocol::render_error(&e),
         }
     }
+}
+
+/// The fused half of a hybrid query: everything `query_fused` needs
+/// beyond the similarity-pool options.
+struct FusedRequest<'a> {
+    id: ObjectId,
+    k: usize,
+    attr_expr: &'a str,
+    fusion: FusionMode,
+    min_similarity: Option<f64>,
+    limit: Option<usize>,
+}
+
+/// The normalized cache key of a query command: every parameter that
+/// determines the response *value*. The output format is deliberately
+/// excluded — `format=text` and `format=json` share one cached entry.
+fn query_cache_key(command: &Command) -> String {
+    let Command::Query {
+        id,
+        k,
+        mode,
+        filter,
+        attr,
+        weights,
+        fusion,
+        min_similarity,
+        limit,
+        json: _,
+    } = command
+    else {
+        unreachable!("cache keys exist only for queries");
+    };
+    format!(
+        "id={} k={k} mode={mode:?} filter={filter:?} attr={attr:?} weights={weights:?} \
+         fusion={fusion:?} minsim={min_similarity:?} limit={limit:?}",
+        id.0
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,204 @@
+//! Golden fusion-ranking fixtures: byte-exact fused orderings for a
+//! pinned corpus, checked into the repository.
+//!
+//! Fused scores feed protocol replies that clients compare across
+//! processes, and the tie-break contract (score desc, id asc) is part
+//! of the wire format — a drift in RRF constants, weighted
+//! normalization, or sort order would silently reorder every hybrid
+//! reply. Both the pure fusion functions and the service-level wiring
+//! are pinned.
+//!
+//! To regenerate after an *intentional* ranking change:
+//! `GOLDEN_REGEN=1 cargo test -p ferret-query --test golden_fusion`
+//! and commit the updated fixture alongside the protocol change note.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ferret_attr::AttrsBuilder;
+use ferret_core::engine::EngineConfig;
+use ferret_core::object::{DataObject, ObjectId};
+use ferret_core::sketch::SketchParams;
+use ferret_core::vector::FeatureVector;
+use ferret_query::{rrf_fuse, weighted_fuse, FerretService, FusedHit};
+
+const SEED: u64 = 0x00FE_44E7;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_fusion.txt")
+}
+
+/// SplitMix64, pinned here independently of any library so the corpus
+/// can never drift with a dependency.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Pinned similarity ranking: 12 ids with deterministic distances.
+/// Ids 3 and 7 share a distance, so downstream fused scores collide and
+/// the id-ascending tie-break is exercised.
+fn pinned_sim() -> Vec<(ObjectId, f64)> {
+    let mut state = SEED;
+    let mut sim: Vec<(ObjectId, f64)> = (0..12u64)
+        .map(|id| {
+            state = mix64(state);
+            let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (ObjectId(id), (unit * 4.0 * 1024.0).round() / 1024.0)
+        })
+        .collect();
+    let tie = sim[3].1;
+    sim[7].1 = tie;
+    sim.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    sim
+}
+
+/// Pinned attribute scores: overlaps ids 4..=9 of the sim list, adds
+/// ids 20..=23 that similarity never saw (attr-only hits, rendered with
+/// a null distance), and repeats the score 2.0 so the attr ranking also
+/// carries a tie.
+fn pinned_attr() -> HashMap<ObjectId, f64> {
+    let mut scores = HashMap::new();
+    for id in 4..=9u64 {
+        scores.insert(ObjectId(id), 1.0 + (id % 3) as f64);
+    }
+    for id in 20..=23u64 {
+        scores.insert(ObjectId(id), 2.0);
+    }
+    scores
+}
+
+fn render_hits(label: &str, hits: &[FusedHit], out: &mut String) {
+    writeln!(out, "# {label}").unwrap();
+    for h in hits {
+        match h.distance {
+            Some(d) => writeln!(out, "{} {:.9} {:.6}", h.id.0, h.score, d).unwrap(),
+            None => writeln!(out, "{} {:.9} -", h.id.0, h.score).unwrap(),
+        }
+    }
+}
+
+/// A deterministic service corpus for the end-to-end section: ten
+/// points on a line, banded attributes.
+fn pinned_service() -> FerretService {
+    let params = SketchParams::new(96, vec![0.0; 2], vec![1.0; 2]).unwrap();
+    let mut svc = FerretService::in_memory(EngineConfig::basic(params, SEED));
+    for i in 0..10u64 {
+        let x = 0.05 + 0.09 * i as f32;
+        let attrs = AttrsBuilder::new()
+            .keyword("band", if i.is_multiple_of(2) { "even" } else { "odd" })
+            .int("idx", i as i64)
+            .build();
+        svc.insert(
+            ObjectId(i),
+            DataObject::single(FeatureVector::new(vec![x, x]).unwrap()),
+            Some(attrs),
+        )
+        .unwrap();
+    }
+    svc
+}
+
+const SERVICE_QUERIES: &[&str] = &[
+    "query id=0 k=6 mode=brute attr=\"band:even\" fusion=rrf",
+    "query id=0 k=6 mode=brute attr=\"band:even\" fusion=rrf rrfk=5",
+    "query id=0 k=6 mode=brute attr=\"band:odd OR idx>=8\" fusion=weighted fw=0.5",
+    "query id=0 k=6 mode=brute attr=\"idx>=3\" fusion=weighted fw=0.9 limit=4",
+    "query id=0 k=6 mode=brute attr=\"band:even\" fusion=rrf format=json",
+];
+
+fn render_fixture() -> String {
+    let sim = pinned_sim();
+    let attr_scores = pinned_attr();
+    let attr = ferret_query::fusion::rank_attr_scores(&attr_scores);
+
+    let mut out = String::new();
+    render_hits("rrf k=60", &rrf_fuse(&sim, &attr, 60), &mut out);
+    render_hits("rrf k=1", &rrf_fuse(&sim, &attr, 1), &mut out);
+    render_hits(
+        "weighted fw=0.5",
+        &weighted_fuse(&sim, &attr, 0.5),
+        &mut out,
+    );
+    render_hits(
+        "weighted fw=0.0",
+        &weighted_fuse(&sim, &attr, 0.0),
+        &mut out,
+    );
+    render_hits(
+        "weighted fw=1.0",
+        &weighted_fuse(&sim, &attr, 1.0),
+        &mut out,
+    );
+
+    let mut svc = pinned_service();
+    for q in SERVICE_QUERIES {
+        writeln!(out, "# service {q}").unwrap();
+        out.push_str(&svc.execute_line(q));
+    }
+    out
+}
+
+#[test]
+fn golden_fusion_rankings_are_stable() {
+    let rendered = render_fixture();
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("regenerated {}", path.display());
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with GOLDEN_REGEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.lines().count(),
+        rendered.lines().count(),
+        "fixture line count drifted"
+    );
+    for (i, (got, want)) in rendered.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            got, want,
+            "fixture line {i} drifted — fused orderings are part of the \
+             wire contract; see the module docs before regenerating"
+        );
+    }
+}
+
+/// Guard the fixture's coverage: the pinned inputs must keep producing
+/// score ties (so the id-ascending tie-break stays pinned) and
+/// attr-only hits (so the null-distance rendering stays pinned).
+#[test]
+fn golden_corpus_exercises_ties_and_attr_only_hits() {
+    let sim = pinned_sim();
+    let attr = ferret_query::fusion::rank_attr_scores(&pinned_attr());
+
+    let mut saw_tie = false;
+    let mut saw_attr_only = false;
+    for hits in [rrf_fuse(&sim, &attr, 60), weighted_fuse(&sim, &attr, 0.5)] {
+        for pair in hits.windows(2) {
+            if pair[0].score == pair[1].score {
+                saw_tie = true;
+                assert!(
+                    pair[0].id < pair[1].id,
+                    "tied scores must order by ascending id"
+                );
+            }
+        }
+        saw_attr_only |= hits.iter().any(|h| h.distance.is_none());
+    }
+    assert!(
+        saw_tie,
+        "pinned corpus no longer produces a fused-score tie"
+    );
+    assert!(
+        saw_attr_only,
+        "pinned corpus no longer produces an attr-only hit"
+    );
+}

@@ -21,6 +21,11 @@ cargo test -q -p ferret-eval --test estimator_quality
 cargo test -q -p ferret-core --test golden_sketches
 PROPTEST_SEED=20260805 cargo test -q --test sketch_strategy
 
+echo "==> hybrid queries: pushdown equivalence, result cache, golden fusion"
+# Fixed seed so the pushdown/cache equivalence corpora are reproducible.
+PROPTEST_SEED=20260805 cargo test -q --test hybrid_query --test result_cache
+cargo test -q -p ferret-query --test golden_fusion
+
 echo "==> fault suite: crash points, torn tails, service crash recovery"
 # Fixed seed so the randomized crash/recovery scripts are reproducible
 # across CI runs; bump it to explore a fresh corner of the fault space.
@@ -82,6 +87,16 @@ grep -l '"results":\[{"id":' "$SMOKE_DIR"/search.* > /dev/null \
 # labelled stage metrics below.
 http_get "/search?id=0&k=2&mode=filter" | grep -q '"results":' \
     || { echo "filter-mode /search failed"; exit 1; }
+# Hybrid query, twice: ingestion tagged both files with ext=fvec, so the
+# attr predicate restricts the filter scan (pushdown); the identical
+# replay must be served from the result cache (default --cache-capacity).
+http_get "/search?id=0&k=2&mode=filter&attr=ext:fvec" | grep -q '"results":\[{"id":' \
+    || { echo "hybrid /search (cold) failed"; exit 1; }
+http_get "/search?id=0&k=2&mode=filter&attr=ext:fvec" | grep -q '"results":\[{"id":' \
+    || { echo "hybrid /search (cached replay) failed"; exit 1; }
+# Fused ranking over the same predicate.
+http_get "/search?id=0&k=2&mode=brute&attr=ext:fvec&fusion=rrf" | grep -q '"results":\[{"id":' \
+    || { echo "fused /search failed"; exit 1; }
 METRICS="$(http_get /metrics)"
 kill "$SERVE_PID" 2>/dev/null || true
 echo "$METRICS" | head -n 1 | grep -q " 200 " \
@@ -111,6 +126,22 @@ for series in ferret_sketch_objects_total ferret_sketch_objects_per_sec; do
 done
 echo "$METRICS" | grep "^ferret_query_stage_seconds" | grep 'stage="sketch"' | grep -q 'strategy="one-pass"' \
     || { echo "/metrics sketch stage missing one-pass strategy label:"; echo "$METRICS" | grep '^ferret_query_stage' | head -n 20; exit 1; }
+# Hybrid-query instrumentation: the result cache and predicate pushdown
+# were both exercised above, so their series exist and the replayed
+# hybrid search registered as a cache hit (and the cold one as a miss).
+for series in ferret_cache_hits_total ferret_cache_misses_total ferret_cache_memory_bytes \
+              ferret_pushdown_queries_total ferret_pushdown_skipped_total; do
+    echo "$METRICS" | grep -q "^$series" \
+        || { echo "/metrics missing $series:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+done
+echo "$METRICS" | grep "^ferret_cache_hits_total" | grep -qv ' 0$' \
+    || { echo "replayed hybrid /search never hit the result cache:"; echo "$METRICS" | grep '^ferret_cache'; exit 1; }
+echo "$METRICS" | grep "^ferret_cache_misses_total" | grep -qv ' 0$' \
+    || { echo "cold hybrid /search never missed the result cache:"; echo "$METRICS" | grep '^ferret_cache'; exit 1; }
+echo "$METRICS" | grep "^ferret_pushdown_queries_total" | grep -qv ' 0$' \
+    || { echo "hybrid /search never recorded a pushdown:"; echo "$METRICS" | grep '^ferret_pushdown'; exit 1; }
+echo "$METRICS" | grep "^ferret_fusion_queries_total" | grep -q 'mode="rrf"' \
+    || { echo "/metrics missing rrf-labelled ferret_fusion_queries_total:"; echo "$METRICS" | grep '^ferret_fusion'; exit 1; }
 echo "smoke OK: /metrics served $(echo "$METRICS" | grep -c '^ferret_') ferret series"
 
 echo "CI OK"

@@ -46,6 +46,7 @@ struct Options {
     sketch_strategy: SketchStrategy,
     workers: Option<usize>,
     max_inflight: Option<usize>,
+    cache_capacity: usize,
     telemetry: bool,
     addr: Option<String>,
     rest: Vec<String>,
@@ -53,7 +54,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--filter-strategy scan|indexed|auto]\n                [--sketch-strategy classic|one-pass] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial] [--sketch-strategy classic|one-pass]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--cache-capacity N] [--filter-strategy scan|indexed|auto]\n                [--sketch-strategy classic|one-pass] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial] [--sketch-strategy classic|one-pass]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -73,6 +74,7 @@ fn parse_options(args: &[String]) -> Options {
         sketch_strategy: SketchStrategy::Classic,
         workers: None,
         max_inflight: None,
+        cache_capacity: 128,
         telemetry: true,
         addr: None,
         rest: Vec::new(),
@@ -131,6 +133,10 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--max-inflight" => {
                 opts.max_inflight = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
             "--no-telemetry" => {
@@ -224,7 +230,11 @@ fn open_service(opts: &Options) -> FerretService {
     config.parallelism = opts.threads;
     config.filter_strategy = opts.filter_strategy;
     config.sketch_strategy = opts.sketch_strategy;
-    match FerretService::open(&db, config, DbOptions::default()) {
+    let built = FerretService::builder(config)
+        .db_options(DbOptions::default())
+        .cache_capacity(opts.cache_capacity)
+        .open(&db);
+    match built {
         Ok(svc) => svc,
         Err(e) => {
             eprintln!("error: cannot open database {}: {e}", db.display());
@@ -318,6 +328,14 @@ fn cmd_serve(opts: &Options) {
             "unlimited".to_string()
         } else {
             config.max_inflight.to_string()
+        }
+    );
+    println!(
+        "result cache: {}",
+        if opts.cache_capacity == 0 {
+            "disabled".to_string()
+        } else {
+            format!("{} entries", opts.cache_capacity)
         }
     );
     println!("tcp protocol on {}", tcp.addr());

@@ -123,6 +123,99 @@ fn concurrent_queries_match_serial_baseline_during_inserts() {
     server.stop();
 }
 
+/// Result-cache staleness under concurrency: while a writer toggles one
+/// object in and out of the index, cache-enabled readers must only ever
+/// see one of the two valid replies — the pre-insert ranking or the
+/// post-insert ranking — never a mix, and never a reply cached under an
+/// index state that has since changed. Afterwards the reply must match
+/// the final index state exactly, and the cache must have actually
+/// served hits during the run.
+#[test]
+fn concurrent_readers_never_observe_stale_cache_hits() {
+    let mut svc = FerretService::builder(config())
+        .cache_capacity(32)
+        .build_in_memory();
+    for i in 0..6u64 {
+        let x = 0.05 + i as f32 * 0.03;
+        svc.insert(ObjectId(i), point(x, x), None).unwrap();
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    svc.enable_telemetry(Arc::clone(&registry));
+
+    // The toggled object sits right next to the seed cluster, so its
+    // presence changes the brute-force top-k reply.
+    let toggled = ObjectId(999);
+    let q = "query id=0 k=4 mode=brute";
+    let reply_without = svc.execute_line(q);
+    svc.insert(toggled, point(0.06, 0.06), None).unwrap();
+    let reply_with = svc.execute_line(q);
+    assert_ne!(reply_without, reply_with);
+    svc.remove(toggled).unwrap();
+
+    let svc = Arc::new(RwLock::new(svc));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writer_svc = Arc::clone(&svc);
+    let writer = std::thread::spawn(move || {
+        for round in 0..30u32 {
+            {
+                let mut svc = writer_svc.write();
+                if round % 2 == 0 {
+                    svc.insert(toggled, point(0.06, 0.06), None).unwrap();
+                } else {
+                    svc.remove(toggled).unwrap();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(3));
+        }
+    });
+
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            let reply_with = reply_with.clone();
+            let reply_without = reply_without.clone();
+            std::thread::spawn(move || {
+                // The server's shared-lock read path: parse, execute
+                // under the read lock, render.
+                let cmd = ferret::query::parse_command(q).unwrap();
+                let mut observed = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let resp = svc.read().execute_read(&cmd).unwrap();
+                    let reply = ferret::query::render_reply(&cmd, &resp);
+                    assert!(
+                        reply == reply_with || reply == reply_without,
+                        "reader {r} saw a reply matching neither index state:\n{reply}"
+                    );
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u32 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0, "readers never ran");
+
+    // The final reply must reflect the final index state (writer ended
+    // on an odd round → remove → object absent).
+    assert_eq!(svc.write().execute_line(q), reply_without);
+
+    // The run exercised the cache on both sides: hits were served, and
+    // every epoch bump forced at least one fresh miss.
+    let hits = registry
+        .counter_value("ferret_cache_hits_total", &[])
+        .unwrap();
+    let misses = registry
+        .counter_value("ferret_cache_misses_total", &[])
+        .unwrap();
+    assert!(hits > 0, "no cache hit was ever served");
+    assert!(misses > 0, "no cache miss ever recomputed");
+}
+
 /// One admission controller shared by the TCP and HTTP servers: a TCP
 /// query holding the only slot makes a concurrent HTTP `/search` answer
 /// 503 promptly (no hang), and both surfaces recover once the slot frees.

@@ -1,0 +1,176 @@
+//! Result-cache correctness: a cache hit must be byte-identical to the
+//! cold execution it replaces, and any index mutation must invalidate
+//! every cached reply (observed as an epoch bump) — a cached service
+//! must be indistinguishable from an uncached twin under any
+//! interleaving of queries and mutations.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use ferret::attr::AttrsBuilder;
+use ferret::core::engine::EngineConfig;
+use ferret::core::object::{DataObject, ObjectId};
+use ferret::core::sketch::SketchParams;
+use ferret::core::telemetry::MetricsRegistry;
+use ferret::core::vector::FeatureVector;
+use ferret::query::FerretService;
+
+const DIM: usize = 3;
+
+fn config() -> EngineConfig {
+    EngineConfig::basic(
+        SketchParams::new(96, vec![0.0; DIM], vec![1.0; DIM]).unwrap(),
+        11,
+    )
+}
+
+fn obj(x: f32) -> DataObject {
+    DataObject::single(FeatureVector::new(vec![x; DIM]).unwrap())
+}
+
+fn attrs(i: u64) -> Option<ferret::attr::Attributes> {
+    Some(
+        AttrsBuilder::new()
+            .keyword("band", if i.is_multiple_of(2) { "even" } else { "odd" })
+            .int("idx", i as i64)
+            .build(),
+    )
+}
+
+fn populated(cache_capacity: usize) -> FerretService {
+    let mut svc = FerretService::builder(config())
+        .cache_capacity(cache_capacity)
+        .build_in_memory();
+    for i in 0..8u64 {
+        svc.insert(ObjectId(i), obj(0.05 + 0.1 * i as f32), attrs(i))
+            .unwrap();
+    }
+    svc
+}
+
+const QUERIES: &[&str] = &[
+    "query id=0 k=3 mode=brute",
+    "query id=0 k=3 mode=sketch",
+    "query id=0 k=3 mode=filter",
+    "query id=1 k=5 mode=brute attr=\"band:even\"",
+    "query id=2 k=4 mode=filter attr=\"idx>=3\"",
+    "query id=3 k=3 mode=brute attr=\"band:odd\" fusion=rrf rrfk=20",
+    "query id=4 k=3 mode=brute attr=\"band:even\" fusion=weighted fw=0.7",
+    "query id=0 k=8 mode=brute minsim=0.3 limit=4",
+    "query id=5 k=3 mode=brute format=json",
+];
+
+/// Every repeated query on a cached service answers byte-identically to
+/// an uncached twin, and the repeats actually hit the cache.
+#[test]
+fn cache_hits_are_byte_identical_to_cold_execution() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut cached = populated(64);
+    cached.enable_telemetry(Arc::clone(&registry));
+    let mut cold = populated(0);
+
+    for round in 0..3 {
+        for q in QUERIES {
+            let warm = cached.execute_line(q);
+            let baseline = cold.execute_line(q);
+            assert_eq!(warm, baseline, "round {round} query {q:?} diverged");
+        }
+    }
+    let hits = registry
+        .counter_value("ferret_cache_hits_total", &[])
+        .unwrap();
+    // Rounds 2 and 3 replay every query against an unchanged index.
+    assert!(
+        hits >= 2 * QUERIES.len() as u64,
+        "expected repeats to hit the cache, got {hits} hits"
+    );
+    assert!(
+        registry
+            .counter_value("ferret_cache_misses_total", &[])
+            .unwrap()
+            >= QUERIES.len() as u64
+    );
+}
+
+/// Every mutation observably bumps the epoch, and a query re-executed
+/// after a mutation reflects the new index state (never the cached
+/// pre-mutation reply).
+#[test]
+fn mutations_bump_the_epoch_and_invalidate() {
+    let mut svc = populated(64);
+    let q = "query id=0 k=8 mode=brute";
+    let before = svc.execute_line(q);
+    assert_eq!(before, svc.execute_line(q), "warm replay must match");
+
+    let e0 = svc.cache_epoch();
+    svc.insert(ObjectId(100), obj(0.11), None).unwrap();
+    let e1 = svc.cache_epoch();
+    assert!(e1 > e0, "insert must bump the epoch");
+    let after_insert = svc.execute_line(q);
+    assert_ne!(before, after_insert, "cached pre-insert reply served");
+
+    svc.remove(ObjectId(100)).unwrap();
+    let e2 = svc.cache_epoch();
+    assert!(e2 > e1, "remove must bump the epoch");
+    assert_eq!(svc.execute_line(q), before, "post-remove reply wrong");
+
+    svc.retune_sketches(96, 2, 11).unwrap();
+    assert!(svc.cache_epoch() > e2, "retune must bump the epoch");
+
+    svc.insert_batch(vec![(ObjectId(200), obj(0.5), None)])
+        .unwrap();
+    assert!(
+        svc.cache_epoch() > e2 + 1,
+        "insert_batch must bump the epoch"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Oracle equivalence: under any interleaving of inserts, removes,
+    /// retunes, and queries, a cached service replies byte-identically
+    /// to an uncached twin executing the same sequence.
+    #[test]
+    fn cached_service_is_indistinguishable_from_uncached(
+        ops in prop::collection::vec((0u8..4, 0u64..16, 0usize..9), 1..40),
+    ) {
+        let mut cached = populated(4); // small capacity: exercises LRU too
+        let mut cold = populated(0);
+        let mut next_id = 1000u64;
+        for (op, arg, qidx) in ops {
+            match op {
+                0 => {
+                    let x = 0.03 * (arg as f32 + 1.0);
+                    let id = ObjectId(next_id);
+                    next_id += 1;
+                    cached.insert(id, obj(x), attrs(arg)).unwrap();
+                    cold.insert(id, obj(x), attrs(arg)).unwrap();
+                }
+                1 => {
+                    // Remove may be a no-op if the id was never added.
+                    let id = ObjectId(1000 + arg);
+                    let a = cached.remove(id).unwrap();
+                    let b = cold.remove(id).unwrap();
+                    prop_assert_eq!(a, b);
+                }
+                2 => {
+                    cached.retune_sketches(96, 2, 11).unwrap();
+                    cold.retune_sketches(96, 2, 11).unwrap();
+                }
+                _ => {
+                    let q = QUERIES[qidx];
+                    prop_assert_eq!(
+                        cached.execute_line(q),
+                        cold.execute_line(q),
+                        "query {} diverged after mutations", q
+                    );
+                }
+            }
+        }
+        // Final sweep: every query agrees after the whole history.
+        for q in QUERIES {
+            prop_assert_eq!(cached.execute_line(q), cold.execute_line(q), "{}", q);
+        }
+    }
+}
