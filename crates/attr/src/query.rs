@@ -204,36 +204,42 @@ impl Parser {
     }
 
     fn parse_expr(&mut self) -> Result<Query, ParseError> {
-        let mut parts = vec![self.parse_and()?];
+        let first = self.parse_and()?;
+        let mut rest = Vec::new();
         while matches!(self.peek(), Some(Token::Or)) {
             self.advance();
-            parts.push(self.parse_and()?);
+            rest.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("non-empty")
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.append(&mut rest);
             Query::Or(parts)
         })
     }
 
     fn parse_and(&mut self) -> Result<Query, ParseError> {
-        let mut parts = vec![self.parse_unary()?];
+        let first = self.parse_unary()?;
+        let mut rest = Vec::new();
         loop {
             match self.peek() {
                 Some(Token::And) => {
                     self.advance();
-                    parts.push(self.parse_unary()?);
+                    rest.push(self.parse_unary()?);
                 }
                 // Implicit AND on juxtaposition of primaries / NOT.
                 Some(Token::Word(_) | Token::Quoted(_) | Token::LParen | Token::Not) => {
-                    parts.push(self.parse_unary()?);
+                    rest.push(self.parse_unary()?);
                 }
                 _ => break,
             }
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("non-empty")
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.append(&mut rest);
             Query::And(parts)
         })
     }
@@ -257,10 +263,15 @@ impl Parser {
                 None => Query::AnyField { token },
             })
             .collect();
-        match terms.len() {
-            0 => Query::And(Vec::new()), // Matches everything.
-            1 => terms.into_iter().next().expect("len 1"),
-            _ => Query::And(terms),
+        let mut terms = terms.into_iter();
+        match (terms.next(), terms.next()) {
+            (None, _) => Query::And(Vec::new()), // Matches everything.
+            (Some(only), None) => only,
+            (Some(a), Some(b)) => {
+                let mut parts = vec![a, b];
+                parts.extend(terms);
+                Query::And(parts)
+            }
         }
     }
 

@@ -98,10 +98,12 @@ impl AttrStore {
     pub fn load(db: &Database) -> StoreResult<Self> {
         let mut index = AttrIndex::new();
         for (key, value) in db.iter_table(ATTR_TABLE) {
-            if key.len() != 8 {
-                return Err(StoreError::Corrupt("attribute key not 8 bytes".into()));
-            }
-            let id = ObjectId(u64::from_le_bytes(key.try_into().expect("len 8")));
+            let id = match <[u8; 8]>::try_from(key) {
+                Ok(raw) => ObjectId(u64::from_le_bytes(raw)),
+                Err(_) => {
+                    return Err(StoreError::Corrupt("attribute key not 8 bytes".into()));
+                }
+            };
             index.insert(id, decode_attributes(value)?);
         }
         Ok(Self { index })

@@ -18,6 +18,10 @@
 //! pushdown against an unbounded post-filter oracle before timing
 //! anything, and writes `BENCH_hybrid.json` at the repository root.
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::collections::HashSet;
 use std::hint::black_box;

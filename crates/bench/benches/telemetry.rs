@@ -7,6 +7,10 @@
 //! `BENCH_telemetry.json` at the repository root with the per-query means
 //! and the relative overhead.
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;

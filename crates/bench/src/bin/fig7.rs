@@ -8,6 +8,10 @@
 //! the low/high knee points of each curve and the implied
 //! feature-to-sketch size ratio range (§6.3.2).
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use ferret_bench::{find_knees, index_dataset, BenchArgs};
 use ferret_core::engine::{EngineConfig, QueryOptions, RankingMethod};
 use ferret_datatypes::audio::{

@@ -9,6 +9,10 @@
 //! feature:sketch size ratio when that ratio is large (×4 at 22:1 for
 //! shapes, little gain at 5:1 for images); filtering is fastest.
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use ferret_bench::BenchArgs;

@@ -22,11 +22,13 @@ fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
 }
 
 fn get_u32(bytes: &mut &[u8]) -> Result<u32> {
-    Ok(u32::from_le_bytes(take(bytes, 4)?.try_into().expect("len")))
+    let b = take(bytes, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 fn get_f32(bytes: &mut &[u8]) -> Result<f32> {
-    Ok(f32::from_le_bytes(take(bytes, 4)?.try_into().expect("len")))
+    let b = take(bytes, 4)?;
+    Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 /// Serializes a [`DataObject`]: `dim, k`, then per segment `weight` and

@@ -179,6 +179,45 @@ pub enum FusionMode {
     },
 }
 
+impl FusionMode {
+    /// Conventional RRF rank-smoothing constant (used by [`FromStr`](std::str::FromStr)).
+    pub const DEFAULT_RRF_K: u32 = 60;
+    /// Balanced attribute weight (used by [`FromStr`](std::str::FromStr)).
+    pub const DEFAULT_ATTR_WEIGHT: f64 = 0.5;
+}
+
+impl std::fmt::Display for FusionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FusionMode::None => "none",
+            FusionMode::Rrf { .. } => "rrf",
+            FusionMode::Weighted { .. } => "weighted",
+        })
+    }
+}
+
+impl std::str::FromStr for FusionMode {
+    type Err = CoreError;
+
+    /// Parses the `Display` labels back into modes with their documented
+    /// default parameters (`k = 60`, `attr_weight = 0.5`); callers refine
+    /// the parameters afterwards (e.g. the protocol's `rrfk=`/`fw=` keys).
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "none" => Ok(FusionMode::None),
+            "rrf" => Ok(FusionMode::Rrf {
+                k: FusionMode::DEFAULT_RRF_K,
+            }),
+            "weighted" => Ok(FusionMode::Weighted {
+                attr_weight: FusionMode::DEFAULT_ATTR_WEIGHT,
+            }),
+            other => Err(CoreError::InvalidQuery(format!(
+                "unknown fusion mode {other:?} (expected none, rrf, or weighted)"
+            ))),
+        }
+    }
+}
+
 /// Per-query options.
 ///
 /// Marked `#[non_exhaustive]` so new knobs can be added without breaking
@@ -1354,6 +1393,32 @@ mod tests {
 
     fn engine(nbits: usize, d: usize) -> SearchEngine {
         SearchEngine::new(EngineConfig::basic(params(nbits, d), 42))
+    }
+
+    #[test]
+    fn fusion_mode_parse_roundtrip() {
+        for mode in [
+            FusionMode::None,
+            FusionMode::Rrf {
+                k: FusionMode::DEFAULT_RRF_K,
+            },
+            FusionMode::Weighted {
+                attr_weight: FusionMode::DEFAULT_ATTR_WEIGHT,
+            },
+        ] {
+            assert_eq!(mode.to_string().parse::<FusionMode>().unwrap(), mode);
+        }
+        // Parsing always yields the documented default parameters.
+        assert_eq!(
+            "rrf".parse::<FusionMode>().unwrap(),
+            FusionMode::Rrf { k: 60 }
+        );
+        for bad in ["", "RRF", "blend", "none "] {
+            assert!(
+                bad.parse::<FusionMode>().is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     /// A small clustered dataset: ids 0..3 near the query, 4..9 far away.

@@ -44,6 +44,7 @@ pub mod object;
 pub mod parallel;
 pub mod plugin;
 pub mod rank;
+pub mod series;
 pub mod sketch;
 pub mod telemetry;
 pub mod vector;

@@ -70,6 +70,32 @@ impl std::fmt::Display for Parallelism {
     }
 }
 
+impl std::str::FromStr for Parallelism {
+    type Err = crate::error::CoreError;
+
+    /// Parses `serial`, `auto`, a bare thread count `N`, or the
+    /// [`Display`](std::fmt::Display) form `threads(N)`, so every value
+    /// round-trips through its own string representation.
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "serial" => Ok(Parallelism::Serial),
+            "auto" => Ok(Parallelism::Auto),
+            other => {
+                let digits = other
+                    .strip_prefix("threads(")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .unwrap_or(other);
+                match digits.parse::<usize>() {
+                    Ok(n) if n >= 1 => Ok(Parallelism::Threads(n)),
+                    _ => Err(crate::error::CoreError::InvalidQuery(format!(
+                        "unknown parallelism {other:?} (expected serial, auto, N, or threads(N))"
+                    ))),
+                }
+            }
+        }
+    }
+}
+
 /// Splits `0..len` into at most `shards` contiguous, near-equal ranges.
 ///
 /// The first `len % shards` ranges get one extra element; empty ranges
@@ -166,6 +192,7 @@ where
         let mut produced: Vec<(usize, U)> = Vec::new();
         let mut failure: Option<(usize, crate::error::CoreError)> = None;
         'claim: loop {
+            // ordering: Relaxed; fetch_add is the sole synchronization point and only uniqueness of the claimed index matters
             let c = next_chunk.fetch_add(1, Ordering::Relaxed);
             if c >= num_chunks {
                 break;
@@ -242,6 +269,25 @@ mod tests {
         assert_eq!(Parallelism::Serial.to_string(), "serial");
         assert_eq!(Parallelism::Threads(3).to_string(), "threads(3)");
         assert_eq!(Parallelism::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn parallelism_parse_roundtrip() {
+        for p in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(1),
+            Parallelism::Threads(7),
+        ] {
+            assert_eq!(p.to_string().parse::<Parallelism>().unwrap(), p);
+        }
+        assert_eq!("4".parse::<Parallelism>().unwrap(), Parallelism::Threads(4));
+        for bad in ["", "0", "threads(0)", "threads(", "fast", "-1"] {
+            assert!(
+                matches!(bad.parse::<Parallelism>(), Err(CoreError::InvalidQuery(_))),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -419,6 +419,8 @@ pub fn filter_candidates_on_disk_sharded_with_vfs(
 }
 
 #[cfg(test)]
+// Tests write fixture files directly; the Vfs seam is for production durability.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::filter::filter_candidates;

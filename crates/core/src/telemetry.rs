@@ -49,11 +49,13 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed; counters are independent monotone tallies, no other data is published via them
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed; scrape reads tolerate racing increments
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -70,22 +72,26 @@ impl Gauge {
 
     /// Sets the gauge.
     pub fn set(&self, v: i64) {
+        // ordering: Relaxed; gauges carry no happens-before obligations
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` (may be negative).
     pub fn add(&self, n: i64) {
+        // ordering: Relaxed; gauges carry no happens-before obligations
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Raises the gauge to `v` if `v` exceeds the current value (a
     /// high-watermark update, e.g. peak concurrent queries).
     pub fn fetch_max(&self, v: i64) {
+        // ordering: Relaxed; high-watermark race only loses a transiently lower peak
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // ordering: Relaxed; scrape reads tolerate racing updates
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -144,8 +150,11 @@ impl Histogram {
     /// Records one observation.
     pub fn observe(&self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
+        // ordering: Relaxed; buckets/sum/count may be mutually torn, snapshot() documents approximation
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed; see above
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // ordering: Relaxed; see above
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -156,11 +165,13 @@ impl Histogram {
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed; monitoring read
         self.count.load(Ordering::Relaxed)
     }
 
     /// Exact sum of all observations.
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed; monitoring read
         self.sum.load(Ordering::Relaxed)
     }
 
@@ -170,6 +181,7 @@ impl Histogram {
         let mut cumulative = Vec::with_capacity(self.buckets.len());
         let mut running = 0u64;
         for b in &self.buckets {
+            // ordering: Relaxed; approximate under concurrent writes by contract
             running += b.load(Ordering::Relaxed);
             cumulative.push(running);
         }
@@ -392,6 +404,33 @@ impl MetricsRegistry {
             },
             || Metric::Histogram(Arc::new(Histogram::new(bounds))),
         )
+    }
+
+    /// Eagerly creates an (empty) family for every series in the
+    /// [`crate::series`] catalog, so `# HELP`/`# TYPE` headers for the
+    /// whole documented `/metrics` surface are visible from the first
+    /// scrape. Families created here have no label sets yet; call sites
+    /// add series as usual, and their kind must match the catalog (the
+    /// registry's kind assertion makes drift fail fast).
+    pub fn register_catalog(&self) {
+        use crate::series::{SeriesKind, SERIES};
+        let mut families = self.families.write();
+        for def in SERIES {
+            let (kind, unit) = match def.kind {
+                SeriesKind::Counter => (Kind::Counter, Unit::Raw),
+                SeriesKind::Gauge => (Kind::Gauge, Unit::Raw),
+                SeriesKind::Histogram { nanos: true } => (Kind::Histogram, Unit::Nanoseconds),
+                SeriesKind::Histogram { nanos: false } => (Kind::Histogram, Unit::Raw),
+            };
+            families
+                .entry(def.name.to_string())
+                .or_insert_with(|| Family {
+                    help: def.help.to_string(),
+                    kind,
+                    unit,
+                    series: BTreeMap::new(),
+                });
+        }
     }
 
     /// One-shot counter increment (get-or-create plus `add`).

@@ -1,0 +1,269 @@
+//! The ratchet baseline: committed per-rule, per-file violation counts
+//! for rules whose existing debt is tolerated but must only shrink.
+//!
+//! The format is a two-level JSON object, `rule -> file -> count`,
+//! written with sorted keys so diffs stay minimal. The parser below is a
+//! strict hand-rolled reader for exactly this shape (the build
+//! environment is offline, so no serde).
+
+use std::collections::BTreeMap;
+
+/// Per-rule, per-file tolerated violation counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Empty baseline (nothing tolerated).
+    pub fn new() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Records one violation against `rule` in `file`.
+    pub fn record(&mut self, rule: &str, file: &str) {
+        *self
+            .counts
+            .entry(rule.to_string())
+            .or_default()
+            .entry(file.to_string())
+            .or_default() += 1;
+    }
+
+    /// Tolerated count for `rule` in `file`.
+    pub fn get(&self, rule: &str, file: &str) -> u64 {
+        self.counts
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total tolerated count for `rule`.
+    pub fn total(&self, rule: &str) -> u64 {
+        self.counts
+            .get(rule)
+            .map(|files| files.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Messages for every `(rule, file)` whose current count exceeds the
+    /// tolerated count. `current` is the freshly measured baseline.
+    pub fn regressions(&self, current: &Baseline) -> Vec<String> {
+        let mut out = Vec::new();
+        for (rule, files) in &current.counts {
+            for (file, &n) in files {
+                let allowed = self.get(rule, file);
+                if n > allowed {
+                    out.push(format!(
+                        "{file}: {rule} count {n} exceeds baseline {allowed} \
+                         (fix the new sites or add a justified pragma)"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders sorted, pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        let rules: Vec<_> = self.counts.iter().filter(|(_, f)| !f.is_empty()).collect();
+        for (ri, (rule, files)) in rules.iter().enumerate() {
+            out.push_str(&format!("  {:?}: {{\n", rule));
+            for (fi, (file, n)) in files.iter().enumerate() {
+                let comma = if fi + 1 < files.len() { "," } else { "" };
+                out.push_str(&format!("    {:?}: {n}{comma}\n", file));
+            }
+            let comma = if ri + 1 < rules.len() { "," } else { "" };
+            out.push_str(&format!("  }}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses the JSON produced by [`Baseline::render`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let mut counts = BTreeMap::new();
+        p.skip_ws();
+        p.expect_byte(b'{')?;
+        p.skip_ws();
+        if !p.eat(b'}') {
+            loop {
+                let rule = p.string()?;
+                p.skip_ws();
+                p.expect_byte(b':')?;
+                p.skip_ws();
+                p.expect_byte(b'{')?;
+                let mut files = BTreeMap::new();
+                p.skip_ws();
+                if !p.eat(b'}') {
+                    loop {
+                        let file = p.string()?;
+                        p.skip_ws();
+                        p.expect_byte(b':')?;
+                        p.skip_ws();
+                        let n = p.number()?;
+                        files.insert(file, n);
+                        p.skip_ws();
+                        if p.eat(b',') {
+                            p.skip_ws();
+                            continue;
+                        }
+                        p.expect_byte(b'}')?;
+                        break;
+                    }
+                }
+                counts.insert(rule, files);
+                p.skip_ws();
+                if p.eat(b',') {
+                    p.skip_ws();
+                    continue;
+                }
+                p.expect_byte(b'}')?;
+                break;
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of lint-baseline.json",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => {
+                            return Err(format!("unsupported escape {other:?} at {}", self.pos))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::new();
+        b.record("no-unwrap-in-lib", "crates/core/src/engine.rs");
+        b.record("no-unwrap-in-lib", "crates/core/src/engine.rs");
+        b.record("no-unwrap-in-lib", "src/lib.rs");
+        b.record("atomic-ordering-comment", "crates/query/src/cache.rs");
+        let text = b.render();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.get("no-unwrap-in-lib", "crates/core/src/engine.rs"),
+            2
+        );
+        assert_eq!(parsed.total("no-unwrap-in-lib"), 3);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let b = Baseline::new();
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn regressions_flag_growth_only() {
+        let mut committed = Baseline::new();
+        committed.record("no-unwrap-in-lib", "a.rs");
+        let mut current = Baseline::new();
+        current.record("no-unwrap-in-lib", "a.rs");
+        current.record("no-unwrap-in-lib", "a.rs");
+        current.record("no-unwrap-in-lib", "b.rs");
+        let msgs = committed.regressions(&current);
+        assert_eq!(msgs.len(), 2);
+        assert!(committed.regressions(&committed).is_empty());
+        // Shrinking is never a regression.
+        assert!(current.regressions(&committed).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{}x").is_err());
+        assert!(Baseline::parse("{\"r\": 3}").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! A minimal Rust lexer: classifies every byte of a source file as code,
+//! comment, or string-literal content.
+//!
+//! The linter's rules are textual, so the one thing that must be exactly
+//! right is *what text counts*: a `std::fs::File` inside a doc comment, a
+//! `"panic!("` inside a test-fixture string, or a `//` inside a string
+//! must never reach a rule. The lexer produces a *scrubbed* copy of the
+//! source — same byte length, with comments and string literals replaced
+//! by spaces (newlines preserved, so offsets and line numbers stay valid)
+//! — plus the extracted string literals and comments with their offsets.
+//!
+//! Handled token forms: `//` line comments (incl. doc comments), nested
+//! `/* */` block comments, `"…"` strings with escapes, byte strings,
+//! raw strings `r"…"` / `r#"…"#` (any hash depth, with `b` prefix),
+//! char and byte-char literals (escaped and plain), and lifetimes
+//! (which are *not* char literals).
+
+/// A string literal or comment extracted from the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Literal content (without delimiters) for strings; full text
+    /// (including `//` or `/*`) for comments.
+    pub text: String,
+    /// Byte offset of the token's first byte in the original source.
+    pub offset: usize,
+}
+
+/// Lexer output: scrubbed source plus extracted tokens.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// The source with comments and string literals blanked to spaces.
+    /// Identical length to the input; newlines are preserved.
+    pub scrubbed: String,
+    /// String literals (contents only), in source order.
+    pub strings: Vec<Token>,
+    /// Comments (full text), in source order.
+    pub comments: Vec<Token>,
+}
+
+fn blank(scrub: &mut [u8], start: usize, end: usize) {
+    for byte in scrub.iter_mut().take(end).skip(start) {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when the byte before `i` could end an identifier, meaning an
+/// `r` / `b` at `i` is an identifier tail, not a literal prefix.
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(bytes[i - 1])
+}
+
+/// Length in bytes of the UTF-8 character starting at `bytes[i]`.
+fn char_len(bytes: &[u8], i: usize) -> usize {
+    match bytes.get(i) {
+        Some(&b) if b < 0x80 => 1,
+        Some(&b) if b < 0xE0 => 2,
+        Some(&b) if b < 0xF0 => 3,
+        Some(_) => 4,
+        None => 1,
+    }
+}
+
+/// Classifies `src`, returning the scrubbed text and extracted tokens.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let len = bytes.len();
+    let mut scrub = bytes.to_vec();
+    let mut strings = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+
+    while i < len {
+        let c = bytes[i];
+        // Line comment (also doc comments /// and //!).
+        if c == b'/' && i + 1 < len && bytes[i + 1] == b'/' {
+            let start = i;
+            while i < len && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Token {
+                text: src[start..i].to_string(),
+                offset: start,
+            });
+            blank(&mut scrub, start, i);
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < len && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments.push(Token {
+                text: src[start..i].to_string(),
+                offset: start,
+            });
+            blank(&mut scrub, start, i);
+            continue;
+        }
+        // Raw string: r"…", r#"…"#, br#"…"# — but not raw identifiers
+        // (r#ident) or identifiers ending in r/b.
+        if (c == b'r' || c == b'b') && !prev_is_ident(bytes, i) {
+            let mut j = i + 1;
+            if c == b'b' {
+                if j < len && bytes[j] == b'r' {
+                    j += 1;
+                } else {
+                    // b"…" / b'…': skip the prefix byte; the quote branch
+                    // below handles the literal itself next iteration.
+                    i += 1;
+                    continue;
+                }
+            }
+            let hash_start = j;
+            while j < len && bytes[j] == b'#' {
+                j += 1;
+            }
+            let hashes = j - hash_start;
+            if j < len && bytes[j] == b'"' {
+                let content_start = j + 1;
+                let mut k = content_start;
+                let content_end = loop {
+                    if k >= len {
+                        break len;
+                    }
+                    if bytes[k] == b'"'
+                        && bytes[k + 1..].len() >= hashes
+                        && bytes[k + 1..k + 1 + hashes].iter().all(|&h| h == b'#')
+                    {
+                        break k;
+                    }
+                    k += 1;
+                };
+                let end = (content_end + 1 + hashes).min(len);
+                strings.push(Token {
+                    text: src[content_start..content_end].to_string(),
+                    offset: i,
+                });
+                blank(&mut scrub, i, end);
+                i = end;
+                continue;
+            }
+            // `r` / `br` not followed by a raw string (e.g. r#ident or a
+            // plain identifier): plain code.
+            i += 1;
+            continue;
+        }
+        // Ordinary (or byte) string.
+        if c == b'"' {
+            let start = i;
+            i += 1;
+            while i < len {
+                if bytes[i] == b'\\' {
+                    i = (i + 2).min(len);
+                } else if bytes[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            let content_end = if i > start + 1 { i - 1 } else { start + 1 };
+            strings.push(Token {
+                text: src[start + 1..content_end].to_string(),
+                offset: start,
+            });
+            blank(&mut scrub, start, i);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < len && bytes[i + 1] == b'\\' {
+                // Escaped char literal: consume the escaped char, then
+                // scan to the closing quote (covers \n, \', \u{…}).
+                let start = i;
+                i += 2;
+                i = (i + 1).min(len);
+                while i < len && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(len);
+                blank(&mut scrub, start, i);
+                continue;
+            }
+            let cl = char_len(bytes, i + 1);
+            if i + 1 + cl < len && bytes[i + 1] != b'\'' && bytes[i + 1 + cl] == b'\'' {
+                // Plain char literal 'x' (possibly multi-byte).
+                let start = i;
+                i = i + 2 + cl;
+                blank(&mut scrub, start, i);
+                continue;
+            }
+            // Lifetime: the quote and the following identifier are code.
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // The scrubber only writes ASCII spaces over existing bytes, and only
+    // whole tokens whose delimiters are ASCII, so the result is valid
+    // UTF-8 unless the input was truncated mid-literal; fall back to a
+    // lossy conversion for robustness on pathological input.
+    let scrubbed = match String::from_utf8(scrub) {
+        Ok(s) => s,
+        Err(e) => String::from_utf8_lossy(e.as_bytes()).into_owned(),
+    };
+    Lexed {
+        scrubbed,
+        strings,
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_block_comments_are_blanked() {
+        let src = "let a = 1; // std::fs::File\n/* panic!( */ let b = 2;";
+        let lexed = lex(src);
+        assert!(!lexed.scrubbed.contains("std::fs"));
+        assert!(!lexed.scrubbed.contains("panic!"));
+        assert!(lexed.scrubbed.contains("let a = 1;"));
+        assert!(lexed.scrubbed.contains("let b = 2;"));
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "a /* x /* y */ z */ b";
+        let lexed = lex(src);
+        assert_eq!(lexed.scrubbed.trim(), "a                   b".trim());
+        assert!(lexed.scrubbed.starts_with("a "));
+        assert!(lexed.scrubbed.ends_with(" b"));
+    }
+
+    #[test]
+    fn strings_extracted_and_blanked() {
+        let src = r#"call("ferret_x", "b\"c"); other"#;
+        let lexed = lex(src);
+        assert_eq!(lexed.strings[0].text, "ferret_x");
+        assert_eq!(lexed.strings[1].text, "b\\\"c");
+        assert!(!lexed.scrubbed.contains("ferret_x"));
+        assert!(lexed.scrubbed.contains("call("));
+        assert!(lexed.scrubbed.contains("other"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = "x(r\"a\", r#\"quote \" inside\"#, br##\"deep \"# done\"##); y";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings[0].text, "a");
+        assert_eq!(lexed.strings[1].text, "quote \" inside");
+        assert_eq!(lexed.strings[2].text, "deep \"# done");
+        assert!(lexed.scrubbed.contains("; y"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_stay_strings() {
+        let src = "let s = \"// not a comment /* nor this\"; tail";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 0);
+        assert!(lexed.scrubbed.contains("tail"));
+    }
+
+    #[test]
+    fn string_quotes_inside_comments_stay_comments() {
+        let src = "// \"not a string\n let x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 0);
+        assert!(lexed.scrubbed.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "let a: &'static str = x; let q = '\"'; let e = '\\''; let n = '\\n';";
+        let lexed = lex(src);
+        // The '"' char literal must not open a string.
+        assert_eq!(lexed.strings.len(), 0);
+        assert!(lexed.scrubbed.contains("&'static str"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_code() {
+        let src = "let r#fn = 1; let rate = r#fn;";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 0);
+        assert!(lexed.scrubbed.contains("r#fn"));
+    }
+
+    #[test]
+    fn scrubbed_preserves_length_and_newlines() {
+        let src = "a\n\"two\nline\"\n// c\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.scrubbed.len(), src.len());
+        assert_eq!(
+            lexed.scrubbed.matches('\n').count(),
+            src.matches('\n').count()
+        );
+    }
+}

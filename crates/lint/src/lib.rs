@@ -1,0 +1,82 @@
+//! `ferret-lint` — a dependency-free static-analysis pass enforcing the
+//! repository's cross-cutting contracts in CI.
+//!
+//! The toolkit's correctness story rests on conventions no compiler
+//! checks: all durable I/O goes through the `ferret-store::vfs` fault
+//! seam, every telemetry series is declared eagerly and documented,
+//! lock guards don't straddle I/O, strategy enums round-trip their
+//! `Display` strings, and atomic orderings are justified. This crate
+//! scans the workspace sources with a small lexer (comments, strings,
+//! raw strings, and test regions are excluded correctly), runs the rule
+//! set, honors `// ferret-lint: allow(<rule>) -- <why>` pragmas, and
+//! ratchets pre-existing debt through `lint-baseline.json`.
+//!
+//! See DESIGN.md §5.5 for the rule catalog and workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod repo;
+pub mod rules;
+pub mod source;
+
+use std::path::Path;
+
+use baseline::Baseline;
+use rules::{Violation, RATCHET_RULES};
+
+/// Outcome of a full lint run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Violations of deny-class rules (including pragma problems).
+    pub deny: Vec<Violation>,
+    /// Violations of ratchet-class rules.
+    pub ratchet: Vec<Violation>,
+    /// The measured ratchet counts for this tree.
+    pub measured: Baseline,
+    /// Ratchet regressions versus the committed baseline.
+    pub regressions: Vec<String>,
+}
+
+impl Report {
+    /// True when `--deny` should fail the build.
+    pub fn failed(&self) -> bool {
+        !self.deny.is_empty() || !self.regressions.is_empty()
+    }
+}
+
+/// Runs every rule against `repo` and compares ratchet counts against
+/// `committed`.
+pub fn run(repo: &repo::Repo, committed: &Baseline) -> Report {
+    let violations = rules::run_all(repo);
+    let (ratchet, deny): (Vec<_>, Vec<_>) = violations
+        .into_iter()
+        .partition(|v| RATCHET_RULES.contains(&v.rule));
+    let mut measured = Baseline::new();
+    for v in &ratchet {
+        measured.record(v.rule, &v.path);
+    }
+    let regressions = committed.regressions(&measured);
+    Report {
+        deny,
+        ratchet,
+        measured,
+        regressions,
+    }
+}
+
+/// Convenience: load the repo at `root` and lint it against the baseline
+/// file at `baseline_path` (missing file = empty baseline).
+pub fn run_at(root: &Path, baseline_path: &Path) -> Result<Report, String> {
+    let repo = repo::Repo::load(root)?;
+    let committed = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::new(),
+        Err(e) => {
+            return Err(format!(
+                "ferret-lint: read {}: {e}",
+                baseline_path.display()
+            ))
+        }
+    };
+    Ok(run(&repo, &committed))
+}

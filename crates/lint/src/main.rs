@@ -1,0 +1,133 @@
+//! CLI for `ferret-lint`.
+//!
+//! ```text
+//! cargo run -p ferret-lint --            # report everything, exit 0
+//! cargo run -p ferret-lint -- --deny     # CI gate: exit 1 on violations
+//! cargo run -p ferret-lint -- --fix-baseline   # regenerate lint-baseline.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ferret_lint::baseline::Baseline;
+use ferret_lint::repo::Repo;
+use ferret_lint::rules::RATCHET_RULES;
+
+const USAGE: &str = "usage: ferret-lint [--root DIR] [--baseline FILE] [--deny] [--fix-baseline]
+
+  --root DIR       workspace root to scan (default: current directory)
+  --baseline FILE  ratchet baseline (default: <root>/lint-baseline.json)
+  --deny           exit non-zero on violations or ratchet regressions
+  --fix-baseline   rewrite the baseline from the current tree
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut fix_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--baseline needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => deny = true,
+            "--fix-baseline" => fix_baseline = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let repo = match Repo::load(&root) {
+        Ok(repo) => repo,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let committed = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ferret-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::new(),
+        Err(e) => {
+            eprintln!("ferret-lint: read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = ferret_lint::run(&repo, &committed);
+
+    if fix_baseline {
+        // The baseline is a dev-tool artifact regenerated atomically by CI,
+        // not durable engine state; the Vfs seam does not apply here.
+        #[allow(clippy::disallowed_methods)]
+        if let Err(e) = std::fs::write(&baseline_path, report.measured.render()) {
+            eprintln!("ferret-lint: write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("ferret-lint: wrote {}", baseline_path.display());
+    }
+
+    for v in &report.deny {
+        println!("{v}");
+    }
+    if !deny {
+        // Report mode: list tolerated ratchet sites too, so `ferret-lint`
+        // with no flags is the "show me everything" view.
+        for v in &report.ratchet {
+            println!("{v}");
+        }
+    }
+    for rule in RATCHET_RULES {
+        let measured = report.measured.total(rule);
+        let allowed = committed.total(rule);
+        println!("ferret-lint: {rule}: {measured} tolerated sites (baseline {allowed})");
+        if measured < allowed && !fix_baseline {
+            println!("ferret-lint: {rule} improved; run with --fix-baseline to ratchet down");
+        }
+    }
+    if !fix_baseline {
+        for msg in &report.regressions {
+            println!("ferret-lint: regression: {msg}");
+        }
+    }
+    println!(
+        "ferret-lint: {} file(s) scanned, {} deny violation(s), {} ratchet regression(s)",
+        repo.files.len(),
+        report.deny.len(),
+        if fix_baseline {
+            0
+        } else {
+            report.regressions.len()
+        }
+    );
+
+    if deny && (!report.deny.is_empty() || (!fix_baseline && !report.regressions.is_empty())) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,100 @@
+//! Loading the scan set: every `.rs` file under `crates/*/src` and the
+//! umbrella `src/`, plus the documentation files some rules cross-check.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// Documentation files rules may cross-reference (all optional on disk).
+pub const DOC_FILES: &[&str] = &["README.md", "DESIGN.md", "LOCK_ORDER.txt"];
+
+/// The analyzed snapshot of the repository.
+#[derive(Debug, Clone)]
+pub struct Repo {
+    /// Parsed source files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// Raw documentation texts keyed by file name.
+    pub docs: BTreeMap<String, String>,
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("ferret-lint: read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("ferret-lint: read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+impl Repo {
+    /// Loads and lexes the scan set under the workspace root.
+    pub fn load(root: &Path) -> Result<Repo, String> {
+        let crates_dir = root.join("crates");
+        let mut rs_paths = Vec::new();
+        let entries = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("ferret-lint: read {}: {e}", crates_dir.display()))?;
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| format!("ferret-lint: read {}: {e}", crates_dir.display()))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut rs_paths)?;
+            }
+        }
+        let top_src = root.join("src");
+        if top_src.is_dir() {
+            collect_rs(&top_src, &mut rs_paths)?;
+        }
+        rs_paths.sort();
+        let mut files = Vec::with_capacity(rs_paths.len());
+        for path in rs_paths {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("ferret-lint: read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::parse(&rel, &text));
+        }
+        let mut docs = BTreeMap::new();
+        for name in DOC_FILES {
+            if let Ok(text) = fs::read_to_string(root.join(name)) {
+                docs.insert(name.to_string(), text);
+            }
+        }
+        Ok(Repo { files, docs })
+    }
+
+    /// Builds a repo from in-memory sources — the fixture-test entry point.
+    pub fn from_memory(files: &[(&str, &str)], docs: &[(&str, &str)]) -> Repo {
+        Repo {
+            files: files
+                .iter()
+                .map(|(path, text)| SourceFile::parse(path, text))
+                .collect(),
+            docs: docs
+                .iter()
+                .map(|(name, text)| (name.to_string(), text.to_string()))
+                .collect(),
+        }
+    }
+
+    /// The parsed file at a repo-relative path.
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Raw text of a documentation file.
+    pub fn doc(&self, name: &str) -> Option<&str> {
+        self.docs.get(name).map(String::as_str)
+    }
+}

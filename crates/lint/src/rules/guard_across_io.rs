@@ -1,0 +1,273 @@
+//! **guard-across-io** — heuristic scope analysis flagging `Mutex` /
+//! `RwLock` guards that stay live across I/O calls, or across the
+//! acquisition of a second lock whose `(outer -> inner)` pair is not
+//! declared in `LOCK_ORDER.txt`.
+//!
+//! A guard is a `let`-binding whose initializer *ends* in an argument-less
+//! `.lock()` / `.read()` / `.write()` (optionally chained through
+//! `.unwrap()` / `.expect(…)` / `?`). Its live range runs from the end of
+//! that statement to the end of the enclosing block, or to an explicit
+//! `drop(<name>)`. Temporary guards (`registry.lock().field = …`) drop at
+//! the end of their own statement and are never flagged. The analysis is
+//! lexical — calls that acquire locks or perform I/O *inside* callees are
+//! out of scope; the pragma escape hatch covers intentional holds (the
+//! FaultVfs state lock scripting simulated I/O is the canonical example).
+
+use std::collections::BTreeSet;
+
+use super::{find_all, lib_files, Violation};
+use crate::repo::Repo;
+use crate::source::SourceFile;
+
+const RULE: &str = "guard-across-io";
+
+const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Method calls (and constructors) treated as I/O.
+const IO_MARKERS: &[&str] = &[
+    ".sync_all(",
+    ".sync_data(",
+    ".sync_dir(",
+    ".write_all(",
+    ".read_to_end(",
+    ".read_to_string(",
+    ".read_exact(",
+    ".read_line(",
+    ".set_len(",
+    ".flush(",
+    ".rename(",
+    ".remove_file(",
+    ".create_dir_all(",
+    ".accept(",
+    "TcpStream::connect",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Walks receiver characters backwards from `end` (exclusive) and returns
+/// the receiver expression, e.g. `self.shared.state` for
+/// `self.shared.state.lock()`.
+fn receiver_before(scrubbed: &str, end: usize) -> (usize, String) {
+    let bytes = scrubbed.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let b = bytes[start - 1];
+        if is_ident_byte(b) || b == b'.' || b == b':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    (start, scrubbed[start..end].to_string())
+}
+
+/// Strips `&`, `*`, and a leading `self.` so receivers compare cleanly
+/// against `LOCK_ORDER.txt` entries.
+fn normalize(recv: &str) -> String {
+    let r = recv.trim().trim_start_matches(['&', '*']);
+    r.strip_prefix("self.").unwrap_or(r).to_string()
+}
+
+/// If the lock call ending at `call_end` is chained only through
+/// `.unwrap()` / `.expect(…)` / `?` and then terminates its statement,
+/// returns the statement's end offset (past the `;`).
+fn statement_end_after(scrubbed: &str, call_end: usize) -> Option<usize> {
+    let bytes = scrubbed.as_bytes();
+    let mut i = call_end;
+    loop {
+        while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\n') {
+            i += 1;
+        }
+        if scrubbed[i..].starts_with(".unwrap()") {
+            i += ".unwrap()".len();
+            continue;
+        }
+        if scrubbed[i..].starts_with(".expect(") {
+            let open = i + ".expect(".len() - 1;
+            let mut depth = 1usize;
+            let mut j = open + 1;
+            while j < bytes.len() && depth > 0 {
+                match bytes[j] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if i < bytes.len() && bytes[i] == b'?' {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b'\n') {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b';' {
+        Some(i + 1)
+    } else {
+        None
+    }
+}
+
+/// If the statement containing the receiver starting at `recv_start` is a
+/// simple `let <name> = …`, returns the bound name.
+fn let_binding_name(scrubbed: &str, recv_start: usize) -> Option<String> {
+    let bytes = scrubbed.as_bytes();
+    let mut bound = recv_start;
+    while bound > 0 && !matches!(bytes[bound - 1], b';' | b'{' | b'}') {
+        bound -= 1;
+    }
+    let seg = scrubbed[bound..recv_start].trim();
+    let mut words = seg.split_whitespace();
+    if words.next()? != "let" {
+        return None;
+    }
+    let mut name = words.next()?;
+    if name == "mut" {
+        name = words.next()?;
+    }
+    let name: String = name
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    // `let _ = …` drops immediately; tuple/struct patterns are skipped.
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+/// End of the guard's live range: the close of the enclosing block, or an
+/// explicit `drop(<name>)`.
+fn live_range_end(scrubbed: &str, from: usize, name: &str) -> usize {
+    let bytes = scrubbed.as_bytes();
+    let drop_pattern = format!("drop({name})");
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b'd' if scrubbed[i..].starts_with(&drop_pattern)
+                && (i == 0 || !is_ident_byte(bytes[i - 1])) =>
+            {
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+fn parse_lock_order(doc: Option<&str>) -> BTreeSet<(String, String)> {
+    let mut out = BTreeSet::new();
+    for line in doc.unwrap_or("").lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if let Some((outer, inner)) = line.split_once("->") {
+            out.insert((outer.trim().to_string(), inner.trim().to_string()));
+        }
+    }
+    out
+}
+
+struct Acquisition {
+    pos: usize,
+    call_len: usize,
+    recv: String,
+}
+
+fn acquisitions(f: &SourceFile) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for call in LOCK_CALLS {
+        for pos in find_all(&f.scrubbed, call) {
+            if f.in_test(pos) {
+                continue;
+            }
+            let (start, recv) = receiver_before(&f.scrubbed, pos);
+            // A bare `.read()` / `.write()` with no receiver identifier is
+            // not a lock acquisition.
+            if recv.trim_matches(['&', '*', ':', '.']).is_empty() {
+                continue;
+            }
+            out.push(Acquisition {
+                pos: start,
+                call_len: pos + call.len() - start,
+                recv,
+            });
+        }
+    }
+    out.sort_by_key(|a| a.pos);
+    out
+}
+
+/// Runs the rule over the repo.
+pub fn check(repo: &Repo) -> Vec<Violation> {
+    let order = parse_lock_order(repo.doc("LOCK_ORDER.txt"));
+    let mut out = Vec::new();
+    for f in lib_files(repo) {
+        let acqs = acquisitions(f);
+        for a in &acqs {
+            let call_end = a.pos + a.call_len;
+            let Some(stmt_end) = statement_end_after(&f.scrubbed, call_end) else {
+                continue; // temporary guard, dead at end of statement
+            };
+            let Some(name) = let_binding_name(&f.scrubbed, a.pos) else {
+                continue;
+            };
+            let end = live_range_end(&f.scrubbed, stmt_end, &name);
+            let outer = normalize(&a.recv);
+            // I/O markers inside the live range.
+            let mut flagged_lines = BTreeSet::new();
+            for marker in IO_MARKERS {
+                for pos in find_all(&f.scrubbed[stmt_end..end], marker) {
+                    let line = f.line_of(stmt_end + pos);
+                    if flagged_lines.insert(line) {
+                        out.push(Violation {
+                            path: f.path.clone(),
+                            line,
+                            rule: RULE,
+                            msg: format!(
+                                "guard `{name}` ({outer}, taken on line {}) is still live \
+                                 across `{marker}…)`; drop it before the I/O",
+                                f.line_of(a.pos)
+                            ),
+                        });
+                    }
+                }
+            }
+            // Second lock acquisitions inside the live range.
+            for b in &acqs {
+                if b.pos <= stmt_end || b.pos >= end {
+                    continue;
+                }
+                let inner = normalize(&b.recv);
+                if order.contains(&(outer.clone(), inner.clone())) {
+                    continue;
+                }
+                out.push(Violation {
+                    path: f.path.clone(),
+                    line: f.line_of(b.pos),
+                    rule: RULE,
+                    msg: format!(
+                        "lock `{inner}` acquired while guard `{name}` ({outer}, line {}) is \
+                         held, and `{outer} -> {inner}` is not declared in LOCK_ORDER.txt",
+                        f.line_of(a.pos)
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

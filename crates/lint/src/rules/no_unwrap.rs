@@ -1,0 +1,45 @@
+//! **no-unwrap-in-lib** — `unwrap()` / `expect()` / `panic!` in non-test
+//! library code.
+//!
+//! Ratcheted: the existing sites are tolerated via `lint-baseline.json`
+//! and may only decrease. New library code must propagate errors.
+
+use super::{find_all, is_cli_path, lib_files, Violation};
+use crate::repo::Repo;
+
+const RULE: &str = "no-unwrap-in-lib";
+
+const PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+
+fn boundary_ok(scrubbed: &str, pos: usize, pattern: &str) -> bool {
+    if !pattern.starts_with('.') && pos > 0 {
+        let prev = scrubbed.as_bytes()[pos - 1];
+        // `debug_panic!` or similar identifiers are not `panic!`.
+        return !(prev.is_ascii_alphanumeric() || prev == b'_');
+    }
+    true
+}
+
+/// Runs the rule over the repo.
+pub fn check(repo: &Repo) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in lib_files(repo) {
+        if is_cli_path(&f.path) {
+            continue;
+        }
+        for pattern in PATTERNS {
+            for pos in find_all(&f.scrubbed, pattern) {
+                if f.in_test(pos) || !boundary_ok(&f.scrubbed, pos, pattern) {
+                    continue;
+                }
+                out.push(Violation {
+                    path: f.path.clone(),
+                    line: f.line_of(pos),
+                    rule: RULE,
+                    msg: format!("`{pattern}` in library code; propagate the error instead"),
+                });
+            }
+        }
+    }
+    out
+}

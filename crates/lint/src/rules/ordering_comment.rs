@@ -1,0 +1,60 @@
+//! **atomic-ordering-comment** — every atomic memory-ordering choice
+//! carries a one-line `// ordering:` justification.
+//!
+//! Orderings are easy to cargo-cult (SeqCst "to be safe") and easy to
+//! silently weaken in refactors. Requiring a comment on the same or the
+//! preceding line turns each choice into a reviewed decision. Ratcheted
+//! (in warn mode) via the baseline; the repo itself is annotated down to
+//! zero.
+
+use super::{find_all, is_cli_path, lib_files, Violation};
+use crate::repo::Repo;
+
+const RULE: &str = "atomic-ordering-comment";
+
+const VARIANTS: &[&str] = &[
+    "Ordering::SeqCst",
+    "Ordering::AcqRel",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::Relaxed",
+];
+
+/// Runs the rule over the repo.
+pub fn check(repo: &Repo) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in lib_files(repo) {
+        if is_cli_path(&f.path) {
+            continue;
+        }
+        let mut commented_lines = std::collections::BTreeSet::new();
+        for c in &f.comments {
+            if c.text.contains("ordering:") {
+                commented_lines.insert(f.line_of(c.offset));
+            }
+        }
+        for variant in VARIANTS {
+            for pos in find_all(&f.scrubbed, variant) {
+                if f.in_test(pos) {
+                    continue;
+                }
+                let line = f.line_of(pos);
+                if commented_lines.contains(&line)
+                    || (line > 1 && commented_lines.contains(&(line - 1)))
+                {
+                    continue;
+                }
+                out.push(Violation {
+                    path: f.path.clone(),
+                    line,
+                    rule: RULE,
+                    msg: format!(
+                        "`{variant}` without an `// ordering:` justification on this or the \
+                         previous line"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

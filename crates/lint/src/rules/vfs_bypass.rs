@@ -1,0 +1,72 @@
+//! **vfs-bypass** — raw filesystem access outside the `ferret-store::vfs`
+//! seam.
+//!
+//! PR 3's durability guarantees (crash-point enumeration, fsyncgate
+//! semantics) hold only for I/O routed through the `Vfs` trait. Any
+//! direct `std::fs` / `File::open` / `OpenOptions` call in library code
+//! silently escapes the fault harness, so it is denied outside `vfs.rs`
+//! itself, tests/benches, CLI binaries, and the linter.
+
+use super::{find_all, is_cli_path, lib_files, Violation};
+use crate::repo::Repo;
+
+const RULE: &str = "vfs-bypass";
+
+const PATTERNS: &[&str] = &[
+    "std::fs::",
+    "File::open(",
+    "File::create(",
+    "OpenOptions::new",
+];
+
+/// Files allowed to touch the real filesystem directly.
+const ALLOWED_PREFIXES: &[&str] = &[
+    // The seam itself: StdVfs is the one sanctioned passthrough.
+    "crates/store/src/vfs.rs",
+    // The linter reads sources; it never writes data-plane files.
+    "crates/lint/",
+];
+
+fn boundary_ok(scrubbed: &str, pos: usize, pattern: &str) -> bool {
+    if pos == 0 {
+        return true;
+    }
+    let prev = scrubbed.as_bytes()[pos - 1];
+    if prev.is_ascii_alphanumeric() || prev == b'_' {
+        // Identifier tail, e.g. `MyFile::open` or `nonstd::fs::…`.
+        return false;
+    }
+    if prev == b':' && pattern.as_bytes()[0].is_ascii_uppercase() {
+        // `File::open` reached through a path qualifier: only the real
+        // `fs::File` counts (`VfsFile::open` must not).
+        return scrubbed[..pos].ends_with("fs::");
+    }
+    true
+}
+
+/// Runs the rule over the repo.
+pub fn check(repo: &Repo) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in lib_files(repo) {
+        if is_cli_path(&f.path) || ALLOWED_PREFIXES.iter().any(|p| f.path.starts_with(p)) {
+            continue;
+        }
+        for pattern in PATTERNS {
+            for pos in find_all(&f.scrubbed, pattern) {
+                if f.in_test(pos) || !boundary_ok(&f.scrubbed, pos, pattern) {
+                    continue;
+                }
+                out.push(Violation {
+                    path: f.path.clone(),
+                    line: f.line_of(pos),
+                    rule: RULE,
+                    msg: format!(
+                        "raw filesystem access `{pattern}` bypasses the ferret-store Vfs \
+                         fault-injection seam; route it through a Vfs (or justify with a pragma)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

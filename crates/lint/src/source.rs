@@ -1,0 +1,301 @@
+//! Per-file analysis context: lexed text, `#[cfg(test)]` / `mod tests`
+//! regions, line mapping, and `ferret-lint: allow(...)` pragmas.
+
+use crate::lexer::{self, Token};
+
+/// A suppression pragma parsed from a comment.
+///
+/// Grammar (inside any comment):
+///
+/// ```text
+/// ferret-lint: allow(rule-a, rule-b) -- justification
+/// ferret-lint: allow-file(rule-a) -- justification
+/// ```
+///
+/// A line pragma suppresses matching violations on its own line and the
+/// line directly below it (so it can trail the offending line or sit
+/// above it). An `allow-file` pragma suppresses the rule for the whole
+/// file. The ` -- justification` part is mandatory; a pragma without it
+/// is itself reported as a violation.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule names listed in the pragma.
+    pub rules: Vec<String>,
+    /// 1-based line the pragma comment starts on.
+    pub line: u32,
+    /// True for `allow-file(...)`.
+    pub file_level: bool,
+    /// True when a non-empty justification follows ` -- `.
+    pub justified: bool,
+}
+
+/// A fully parsed source file ready for rule checks.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Original text.
+    pub text: String,
+    /// Comment/string-blanked text, same length as `text`.
+    pub scrubbed: String,
+    /// Extracted string literals in source order.
+    pub strings: Vec<Token>,
+    /// Extracted comments in source order.
+    pub comments: Vec<Token>,
+    /// Parsed suppression pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// True when the whole file is test/bench/example code by path.
+    pub whole_file_test: bool,
+    line_starts: Vec<usize>,
+    test_ranges: Vec<(usize, usize)>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offset just past the matching `}` for the `{` at `open` (or EOF).
+pub(crate) fn matching_brace(scrubbed: &[u8], open: usize) -> usize {
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < scrubbed.len() {
+        match scrubbed[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    scrubbed.len()
+}
+
+/// The item region introduced at `from`: up to the matching brace of the
+/// first `{`, or up to a `;` when one comes first (e.g. `mod tests;`).
+fn item_region(scrubbed: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < scrubbed.len() {
+        match scrubbed[i] {
+            b'{' => return matching_brace(scrubbed, i),
+            b';' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    scrubbed.len()
+}
+
+fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        out.push(from + pos);
+        from += pos + needle.len();
+    }
+    out
+}
+
+fn test_ranges(scrubbed: &str) -> Vec<(usize, usize)> {
+    let bytes = scrubbed.as_bytes();
+    let mut ranges = Vec::new();
+    // #[cfg(test)] and #[cfg(test, ...)].
+    for start in find_all(scrubbed, "#[cfg(test") {
+        match bytes.get(start + 10) {
+            Some(b')') | Some(b',') => {
+                ranges.push((start, item_region(bytes, start + 10)));
+            }
+            _ => {}
+        }
+    }
+    for start in find_all(scrubbed, "#[test]") {
+        ranges.push((start, item_region(bytes, start + 7)));
+    }
+    // `mod tests` (any module literally named `tests`).
+    for start in find_all(scrubbed, "mod tests") {
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after = bytes.get(start + 9).copied().unwrap_or(b'\n');
+        if before_ok && (after == b' ' || after == b'{' || after == b';' || after == b'\n') {
+            ranges.push((start, item_region(bytes, start + 9)));
+        }
+    }
+    ranges
+}
+
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    // Doc comments never carry pragmas — they *describe* the syntax (this
+    // crate's own docs would otherwise trip the parser).
+    if comment.starts_with("///")
+        || comment.starts_with("//!")
+        || comment.starts_with("/**")
+        || comment.starts_with("/*!")
+    {
+        return None;
+    }
+    let rest = comment.split("ferret-lint:").nth(1)?;
+    let rest = rest.trim_start();
+    let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        // The marker prefix followed by an unparseable form: report it as
+        // an unjustified pragma so typos fail loudly instead of silently
+        // not suppressing.
+        return Some(Pragma {
+            rules: Vec::new(),
+            line,
+            file_level: false,
+            justified: false,
+        });
+    };
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = &rest[close + 1..];
+    let justified = tail
+        .split_once("--")
+        .map(|(_, j)| !j.trim().is_empty())
+        .unwrap_or(false);
+    Some(Pragma {
+        rules,
+        line,
+        file_level,
+        justified,
+    })
+}
+
+impl SourceFile {
+    /// Lexes and indexes `text` under the given repo-relative path.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let lexer::Lexed {
+            scrubbed,
+            strings,
+            comments,
+        } = lexer::lex(text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let ranges = test_ranges(&scrubbed);
+        let whole_file_test = path.contains("/tests/")
+            || path.contains("/benches/")
+            || path.contains("/examples/")
+            || path.ends_with("_test.rs");
+        let mut file = SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+            scrubbed,
+            strings,
+            comments,
+            pragmas: Vec::new(),
+            whole_file_test,
+            line_starts,
+            test_ranges: ranges,
+        };
+        file.pragmas = file
+            .comments
+            .iter()
+            .filter_map(|c| parse_pragma(&c.text, file.line_of(c.offset)))
+            .collect();
+        file
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// True when byte `offset` lies inside test-only code.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.whole_file_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True when a justified pragma suppresses `rule` at `line`.
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas.iter().any(|p| {
+            p.justified
+                && p.rules.iter().any(|r| r == rule)
+                && (p.file_level || p.line == line || p.line + 1 == line)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { inner(); }\n}\nfn tail() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let inner = src.find("inner").unwrap();
+        let tail = src.find("tail").unwrap();
+        assert!(f.in_test(inner));
+        assert!(!f.in_test(tail));
+        assert!(!f.in_test(0));
+    }
+
+    #[test]
+    fn external_test_module_declaration() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.in_test(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn test_attribute_covers_one_fn() {
+        let src = "#[test]\nfn check() { a(); }\nfn live() { b(); }\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.in_test(src.find("a()").unwrap()));
+        assert!(!f.in_test(src.find("b()").unwrap()));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_test() {
+        let f = SourceFile::parse("crates/x/tests/it.rs", "fn anything() {}");
+        assert!(f.in_test(3));
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let src =
+            "// ferret-lint: allow(vfs-bypass) -- CLI tool\nstd::fs::read(p);\nstd::fs::read(q);\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.is_suppressed("vfs-bypass", 1));
+        assert!(f.is_suppressed("vfs-bypass", 2));
+        assert!(!f.is_suppressed("vfs-bypass", 3));
+        assert!(!f.is_suppressed("no-unwrap-in-lib", 2));
+    }
+
+    #[test]
+    fn unjustified_pragma_does_not_suppress() {
+        let src = "// ferret-lint: allow(vfs-bypass)\nstd::fs::read(p);\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.is_suppressed("vfs-bypass", 2));
+        assert!(!f.pragmas[0].justified);
+    }
+
+    #[test]
+    fn file_pragma_suppresses_everywhere() {
+        let src =
+            "// ferret-lint: allow-file(vfs-bypass) -- read-only scan\n\n\nstd::fs::read(p);\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.is_suppressed("vfs-bypass", 4));
+    }
+}

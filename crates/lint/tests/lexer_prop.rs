@@ -1,0 +1,153 @@
+//! Property tests for the ferret-lint lexer: random interleavings of
+//! well-formed code, comment, and string fragments must classify every
+//! fragment correctly, preserve byte length and newline positions, and
+//! report faithful token offsets.
+
+use ferret_lint::lexer::lex;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Code,
+    Str,
+    Comment,
+}
+
+/// Builds the `i`-th fragment of the given selector. Every fragment
+/// carries a unique marker so the test can check exactly where it ended
+/// up. Fragments are joined with spaces, so adjacency effects (like an
+/// identifier tail swallowing an `r"` prefix) cannot occur — those are
+/// covered by the lexer's unit tests.
+fn fragment(sel: u8, i: usize) -> (String, Kind, String) {
+    match sel {
+        0 => {
+            let m = format!("k{i}_code");
+            (format!("let {m} = {i};"), Kind::Code, m)
+        }
+        1 => {
+            // Sensitive patterns in real code must survive scrubbing.
+            let m = format!("k{i}_fs");
+            (format!("{m}::fs::metadata({i})?;"), Kind::Code, m)
+        }
+        2 => {
+            let m = format!("s{i}_plain");
+            (format!("(\"{m}\")"), Kind::Str, m)
+        }
+        3 => {
+            let m = format!("s{i}_esc");
+            (format!("(\"{m}\\\"q\")"), Kind::Str, m)
+        }
+        4 => {
+            let m = format!("s{i}_raw");
+            (format!("(r#\"{m} has a \" quote\"#)"), Kind::Str, m)
+        }
+        5 => {
+            let m = format!("c{i}_line");
+            (format!("// {m} std::fs::write\n"), Kind::Comment, m)
+        }
+        6 => {
+            let m = format!("c{i}_block");
+            (format!("/* {m} panic!( */"), Kind::Comment, m)
+        }
+        _ => {
+            // Char literals and lifetimes are scrubbed or kept as code but
+            // never produce string tokens; the marker checks the tail.
+            let m = format!("k{i}_tail");
+            (
+                format!("let q = '\\''; let r: &'a u8 = {m};"),
+                Kind::Code,
+                m,
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_interleavings_classify_exactly(sels in prop::collection::vec(0u8..8, 0..40usize)) {
+        let frags: Vec<(String, Kind, String)> = sels
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| fragment(sel, i))
+            .collect();
+        let src: String = frags
+            .iter()
+            .map(|(text, _, _)| text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let lexed = lex(&src);
+
+        // Scrubbing is shape-preserving: same length, newlines untouched.
+        prop_assert_eq!(lexed.scrubbed.len(), src.len());
+        let src_newlines: Vec<usize> =
+            src.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(p, _)| p).collect();
+        let scrub_newlines: Vec<usize> =
+            lexed.scrubbed.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(p, _)| p).collect();
+        prop_assert_eq!(src_newlines, scrub_newlines);
+
+        // Exactly one token per string/comment fragment.
+        let want_strings = frags.iter().filter(|(_, k, _)| *k == Kind::Str).count();
+        let want_comments = frags.iter().filter(|(_, k, _)| *k == Kind::Comment).count();
+        prop_assert_eq!(lexed.strings.len(), want_strings);
+        prop_assert_eq!(lexed.comments.len(), want_comments);
+
+        for (_, kind, marker) in &frags {
+            match kind {
+                // Code markers survive scrubbing verbatim.
+                Kind::Code => prop_assert!(
+                    lexed.scrubbed.contains(marker),
+                    "code marker {} scrubbed away", marker
+                ),
+                // String markers move into string tokens and leave the
+                // scrubbed text.
+                Kind::Str => {
+                    prop_assert!(!lexed.scrubbed.contains(marker));
+                    prop_assert!(lexed.strings.iter().any(|t| t.text.contains(marker)));
+                    prop_assert!(!lexed.comments.iter().any(|t| t.text.contains(marker)));
+                }
+                Kind::Comment => {
+                    prop_assert!(!lexed.scrubbed.contains(marker));
+                    prop_assert!(lexed.comments.iter().any(|t| t.text.contains(marker)));
+                    prop_assert!(!lexed.strings.iter().any(|t| t.text.contains(marker)));
+                }
+            }
+        }
+
+        // Token offsets point at real delimiters in the original source.
+        for t in &lexed.strings {
+            let at = &src[t.offset..];
+            prop_assert!(
+                at.starts_with('"') || at.starts_with('r') || at.starts_with('b'),
+                "string offset {} points at {:?}", t.offset, &at[..at.len().min(4)]
+            );
+        }
+        for t in &lexed.comments {
+            prop_assert!(src[t.offset..].starts_with("//") || src[t.offset..].starts_with("/*"));
+            // Comment tokens carry their full source text.
+            prop_assert!(src[t.offset..].starts_with(t.text.as_str()));
+        }
+
+        // No sensitive pattern from a non-code fragment leaks into the
+        // scrubbed text: every std::fs:: / panic!( left over must come
+        // from a code fragment (which our generator never emits).
+        prop_assert!(!lexed.scrubbed.contains("std::fs::write"));
+        prop_assert!(!lexed.scrubbed.contains("panic!("));
+    }
+
+    #[test]
+    fn lexing_is_deterministic(sels in prop::collection::vec(0u8..8, 0..20usize)) {
+        let src: String = sels
+            .iter()
+            .enumerate()
+            .map(|(i, &sel)| fragment(sel, i).0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.scrubbed, b.scrubbed);
+        prop_assert_eq!(a.strings, b.strings);
+        prop_assert_eq!(a.comments, b.comments);
+    }
+}

@@ -1,0 +1,40 @@
+//! The linter's most important fixture is the repository itself: the
+//! real tree must pass `--deny` (zero unsuppressed deny violations, zero
+//! ratchet regressions against the committed baseline), so `cargo test`
+//! catches a dirty tree even before `scripts/ci.sh` runs the CLI.
+
+use std::path::Path;
+
+#[test]
+fn repository_passes_ferret_lint_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ferret_lint::run_at(&root, &root.join("lint-baseline.json"))
+        .expect("repository sources must load");
+    assert!(
+        report.deny.is_empty(),
+        "deny violations in tree:\n{}",
+        report
+            .deny
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.regressions.is_empty(),
+        "ratchet regressions in tree:\n{}",
+        report.regressions.join("\n")
+    );
+}
+
+#[test]
+fn baseline_totals_are_ratcheted_not_zeroed() {
+    // The committed baseline must reflect a real, nonzero unwrap debt
+    // (the ratchet's whole point) while atomic orderings are fully
+    // annotated.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ferret_lint::run_at(&root, &root.join("lint-baseline.json"))
+        .expect("repository sources must load");
+    assert!(report.measured.total("no-unwrap-in-lib") > 0);
+    assert_eq!(report.measured.total("atomic-ordering-comment"), 0);
+}

@@ -72,6 +72,7 @@ impl AdmissionControl {
 
     /// Queries executing right now.
     pub fn inflight(&self) -> usize {
+        // ordering: Relaxed; monitoring read, admission itself re-reads via compare_exchange
         self.inflight.load(Ordering::Relaxed)
     }
 
@@ -79,6 +80,7 @@ impl AdmissionControl {
     /// the caller must answer `BUSY`/503; `Some` holds the slot until the
     /// guard drops.
     pub fn try_admit(self: &Arc<Self>) -> Option<AdmissionGuard> {
+        // ordering: Relaxed; just seeds the CAS loop, the CAS validates it
         let mut current = self.inflight.load(Ordering::Relaxed);
         loop {
             if self.max_inflight != 0 && current >= self.max_inflight {
@@ -90,7 +92,9 @@ impl AdmissionControl {
             match self.inflight.compare_exchange_weak(
                 current,
                 current + 1,
+                // ordering: AcqRel success pairs with the AcqRel release in AdmissionGuard::drop so slot reuse is ordered
                 Ordering::AcqRel,
+                // ordering: Relaxed failure only feeds the retry loop
                 Ordering::Relaxed,
             ) {
                 Ok(_) => break,
@@ -99,6 +103,7 @@ impl AdmissionControl {
         }
         let now = current as i64 + 1;
         if let Some(g) = &self.inflight_gauge {
+            // ordering: Relaxed; gauge refresh is advisory
             g.set(self.inflight.load(Ordering::Relaxed) as i64);
         }
         if let Some(g) = &self.peak_gauge {
@@ -118,6 +123,7 @@ pub struct AdmissionGuard {
 
 impl Drop for AdmissionGuard {
     fn drop(&mut self) {
+        // ordering: AcqRel; release publishes this query's effects before the slot frees, acquire pairs with the admit CAS
         let before = self.control.inflight.fetch_sub(1, Ordering::AcqRel);
         if let Some(g) = &self.control.inflight_gauge {
             g.set(before.saturating_sub(1) as i64);

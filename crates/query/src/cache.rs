@@ -93,14 +93,16 @@ impl ResultCache {
 
     /// The current index epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::SeqCst)
+        // ordering: Acquire pairs with the AcqRel bump; the inner mutex orders entry contents
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Invalidates every cached reply by advancing the epoch. Called on
     /// any mutation of the underlying index; O(1) — stale entries are
     /// dropped lazily as lookups encounter them or LRU pushes them out.
     pub fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // ordering: AcqRel; release publishes the invalidation to epoch() readers, and no other atomic participates so SeqCst buys nothing
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Whether the cache can ever store anything.
@@ -117,6 +119,7 @@ impl ResultCache {
         }
         let epoch = self.epoch();
         let mut inner = self.inner.lock();
+        let mut evicted_stale = false;
         let result = match inner.entries.get(key) {
             Some(entry) if entry.epoch == epoch => {
                 let resp = entry.resp.clone();
@@ -124,15 +127,21 @@ impl ResultCache {
                 Some(resp)
             }
             Some(_) => {
-                let entry = inner.entries.remove(key).expect("entry present");
-                inner.bytes -= entry.bytes;
-                self.count("ferret_cache_evictions_total", 1);
+                if let Some(entry) = inner.entries.remove(key) {
+                    inner.bytes -= entry.bytes;
+                    evicted_stale = true;
+                }
                 None
             }
             None => None,
         };
         let bytes = inner.bytes;
+        // Counters are bumped only after the cache lock is released, so the
+        // telemetry mutex never nests inside it (see LOCK_ORDER.txt).
         drop(inner);
+        if evicted_stale {
+            self.count("ferret_cache_evictions_total", 1);
+        }
         match &result {
             Some(_) => self.count("ferret_cache_hits_total", 1),
             None => self.count("ferret_cache_misses_total", 1),

@@ -320,7 +320,8 @@ impl HttpServer {
                 })
                 .collect();
             loop {
-                if stop.load(Ordering::SeqCst) {
+                // ordering: Relaxed; stop flag carries no data, stop()/drop join after
+                if stop.load(Ordering::Relaxed) {
                     break;
                 }
                 match listener.accept() {
@@ -360,7 +361,8 @@ impl HttpServer {
 
     /// Stops the server.
     pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: Relaxed; the join below is the real synchronization point
+        self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -369,7 +371,8 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: Relaxed; the join below is the real synchronization point
+        self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -106,7 +106,8 @@ impl ConnQueue {
     pub(crate) fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
         let mut q = self.queue.lock().expect("queue poisoned");
         loop {
-            if shutdown.load(Ordering::SeqCst) {
+            // ordering: Relaxed; flag only ends the wait loop, queue mutex + join order the rest
+            if shutdown.load(Ordering::Relaxed) {
                 return None;
             }
             if let Some(stream) = q.pop_front() {
@@ -238,7 +239,8 @@ impl Server {
                 })
                 .collect();
             loop {
-                if shutdown_accept.load(Ordering::SeqCst) {
+                // ordering: Relaxed; stop flag carries no data, stop()/drop join after
+                if shutdown_accept.load(Ordering::Relaxed) {
                     break;
                 }
                 match listener.accept() {
@@ -274,7 +276,8 @@ impl Server {
     /// Signals shutdown and joins the accept loop and workers (graceful
     /// drain: each worker finishes the command in flight first).
     pub fn stop(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: Relaxed; the join below is the real synchronization point
+        self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -283,7 +286,8 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: Relaxed; the join below is the real synchronization point
+        self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -304,7 +308,8 @@ fn handle_connection(
     writer.write_all(b"ferret ready\n")?;
     let mut line = String::new();
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        // ordering: Relaxed; graceful-drain check between commands, no data rides on it
+        if shutdown.load(Ordering::Relaxed) {
             break;
         }
         line.clear();

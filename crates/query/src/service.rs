@@ -228,12 +228,14 @@ impl ServiceBuilder {
         let mut engine = SearchEngine::new(self.config.clone());
         let mut recovered = Vec::new();
         for (key, value) in db.iter_table(FEATURES_TABLE) {
-            if key.len() != 8 {
-                return Err(ServiceError::Store(StoreError::Corrupt(
-                    "feature key not 8 bytes".into(),
-                )));
-            }
-            let id = ObjectId(u64::from_le_bytes(key.try_into().expect("len 8")));
+            let id = match <[u8; 8]>::try_from(key) {
+                Ok(raw) => ObjectId(u64::from_le_bytes(raw)),
+                Err(_) => {
+                    return Err(ServiceError::Store(StoreError::Corrupt(
+                        "feature key not 8 bytes".into(),
+                    )));
+                }
+            };
             let obj = decode_object(value)?;
             recovered.push((id, obj));
         }
@@ -304,6 +306,9 @@ impl FerretService {
     /// storage metrics, and recent query traces are retained for the
     /// web interface's `/trace` endpoint.
     pub fn enable_telemetry(&mut self, registry: Arc<MetricsRegistry>) {
+        // Every documented family appears on /metrics from the first
+        // scrape, not just the ones whose code paths have already run.
+        registry.register_catalog();
         self.engine.set_telemetry(Some(Arc::clone(&registry)));
         self.cache.set_telemetry(Some(Arc::clone(&registry)));
         self.telemetry = Some(registry);
@@ -368,6 +373,19 @@ impl FerretService {
     /// The attribute store (read access).
     pub fn attrs(&self) -> &AttrStore {
         &self.attrs
+    }
+
+    /// The backing metadata database, if persistent.
+    pub fn db(&self) -> Option<&Database> {
+        self.db.as_ref()
+    }
+
+    /// Mutable access to the backing metadata database, for callers that
+    /// persist auxiliary state (e.g. the acquisition manifest) alongside
+    /// the service's own tables — through the same VFS-routed store, so
+    /// crash-consistency covers that state too.
+    pub fn db_mut(&mut self) -> Option<&mut Database> {
+        self.db.as_mut()
     }
 
     /// The engine's parallelism setting.

@@ -12,6 +12,10 @@
 //! `GOLDEN_REGEN=1 cargo test -p ferret-query --test golden_fusion`
 //! and commit the updated fixture alongside the protocol change note.
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;

@@ -119,17 +119,22 @@ impl<'a> Decoder<'a> {
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Reads a `u16`-length-prefixed name.
     pub fn get_name(&mut self) -> Result<String> {
-        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")) as usize;
+        let b = self.take(2)?;
+        let len = u16::from_le_bytes([b[0], b[1]]) as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| StoreError::Corrupt("non-utf8 table name".into()))

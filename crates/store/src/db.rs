@@ -339,6 +339,8 @@ impl<'db> Transaction<'db> {
 }
 
 #[cfg(test)]
+// Tests write fixture files directly; the Vfs seam is for production durability.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

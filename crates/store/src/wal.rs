@@ -348,6 +348,8 @@ impl Drop for Wal {
 }
 
 #[cfg(test)]
+// Tests write fixture files directly; the Vfs seam is for production durability.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::fs::OpenOptions;

@@ -8,6 +8,10 @@
 //! recovery yields exactly the preceding commits — never an error, never a
 //! partial transaction (paper §4.1.3's "last intact commit" contract).
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use std::path::{Path, PathBuf};
 
 use ferret_store::wal::{scan, Op, Wal};

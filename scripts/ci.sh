@@ -5,6 +5,12 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> ferret-lint --deny (project contract rules + ratchet baseline)"
+# Fails on any unsuppressed deny violation and on any ratchet count above
+# lint-baseline.json. After intentionally fixing ratcheted debt, run
+# `cargo run -p ferret-lint -- --fix-baseline` and commit the new baseline.
+cargo run -q -p ferret-lint -- --deny
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -33,8 +39,10 @@ PROPTEST_SEED=20260805 cargo test -q -p ferret-store
 PROPTEST_SEED=20260805 cargo test -q -p ferret-query \
     --test service_crash_recovery --test store_fault_telemetry
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+# --all-targets lints tests, benches, and examples too, and clippy.toml's
+# disallowed-methods bans Vfs-bypassing durable writes in production code.
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -59,10 +67,28 @@ for _ in $(seq 1 50); do
     sleep 0.2
 done
 [ -n "$HTTP_ADDR" ] || { echo "serve never printed its http address"; cat "$SMOKE_DIR/serve.log"; exit 1; }
-# Fetch without curl: bash's /dev/tcp.
-http_get() {
+# Fetch without curl: bash's /dev/tcp. Raw socket reads can come back
+# truncated under load, so verify the body against Content-Length and
+# retry a few times before giving up (and accept the possibly-short
+# final attempt rather than failing the fetch outright).
+http_get_once() {
     exec 3<>"/dev/tcp/${HTTP_ADDR%:*}/${HTTP_ADDR##*:}" \
-        && printf 'GET %s HTTP/1.1\r\nHost: x\r\n\r\n' "$1" >&3 && cat <&3
+        && printf 'GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' "$1" >&3 && cat <&3
+}
+http_get() {
+    local reply want got
+    for _ in 1 2 3 4 5; do
+        reply="$(http_get_once "$1")" || { sleep 0.2; continue; }
+        want="$(printf '%s' "$reply" | tr -d '\r' | sed -n 's/^Content-Length: //p' | head -n 1)"
+        got="$(printf '%s' "$reply" | sed '1,/^\r\{0,1\}$/d' | wc -c)"
+        # wc counts a trailing newline the $() stripped; allow ±1.
+        if [ -z "$want" ] || [ "$got" -ge "$((want - 1))" ]; then
+            printf '%s\n' "$reply"
+            return 0
+        fi
+        sleep 0.2
+    done
+    printf '%s\n' "$reply"
 }
 http_get /stat > /dev/null   # populate the per-endpoint request counters
 # Multi-connection smoke: several parallel clients searching at once.

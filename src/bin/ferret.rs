@@ -157,11 +157,8 @@ fn parse_options(args: &[String]) -> Options {
 }
 
 fn parse_threads(value: &str) -> Option<Parallelism> {
-    match value {
-        "auto" => Some(Parallelism::Auto),
-        "serial" => Some(Parallelism::Serial),
-        n => n.parse::<usize>().ok().map(Parallelism::Threads),
-    }
+    // Accepts serial, auto, N, or threads(N) — see Parallelism::from_str.
+    value.parse().ok()
 }
 
 struct ServiceSink<'a>(&'a mut FerretService);
@@ -243,13 +240,48 @@ fn open_service(opts: &Options) -> FerretService {
     }
 }
 
+/// Restores importer state (manifest + path → id table) from the
+/// service's metadata store, so restarts neither re-import unchanged
+/// files nor reassign ids.
+fn open_importer(
+    service: &FerretService,
+    watch: &std::path::Path,
+    dim: usize,
+) -> Importer<FvecExtractor> {
+    let extractor = FvecExtractor::new(dim);
+    match service.db() {
+        Some(db) => match Importer::load_state(watch, extractor, db) {
+            Ok(importer) => importer,
+            Err(e) => {
+                eprintln!("warning: importer state not recovered ({e}); rescanning from scratch");
+                Importer::new(watch, FvecExtractor::new(dim))
+            }
+        },
+        None => Importer::new(watch, extractor),
+    }
+}
+
 fn scan_once(service: &mut FerretService, importer: &mut Importer<FvecExtractor>) -> usize {
     match importer.scan_once(&mut ServiceSink(service)) {
         Ok(report) => {
             for (path, err) in &report.failures {
                 eprintln!("import failed: {}: {err}", path.display());
             }
-            report.imported.len() + report.updated.len() + report.removed.len()
+            let changed = report.imported.len() + report.updated.len() + report.removed.len();
+            if changed > 0 {
+                if let Some(db) = service.db_mut() {
+                    if let Err(e) = importer.save_state(db) {
+                        eprintln!("warning: importer state not saved: {e}");
+                    }
+                    // Make the scan's commits (engine inserts + importer
+                    // state) durable now; buffered durability would other-
+                    // wise lose them to a crash and force a re-ingest.
+                    if let Err(e) = db.flush() {
+                        eprintln!("warning: scan results not flushed: {e}");
+                    }
+                }
+            }
+            changed
         }
         Err(e) => {
             eprintln!("scan failed: {e}");
@@ -261,7 +293,7 @@ fn scan_once(service: &mut FerretService, importer: &mut Importer<FvecExtractor>
 fn cmd_import(opts: &Options) {
     let watch = opts.watch.clone().unwrap_or_else(|| usage());
     let mut service = open_service(opts);
-    let mut importer = Importer::new(&watch, FvecExtractor::new(opts.dim));
+    let mut importer = open_importer(&service, &watch, opts.dim);
     let changed = scan_once(&mut service, &mut importer);
     service.flush().expect("flush");
     println!(
@@ -274,7 +306,7 @@ fn cmd_import(opts: &Options) {
 fn cmd_serve(opts: &Options) {
     let watch = opts.watch.clone().unwrap_or_else(|| usage());
     let mut service = open_service(opts);
-    let mut importer = Importer::new(&watch, FvecExtractor::new(opts.dim));
+    let mut importer = open_importer(&service, &watch, opts.dim);
     let changed = scan_once(&mut service, &mut importer);
     println!(
         "initial scan: {} changes, {} objects indexed",

@@ -2,6 +2,10 @@
 //! must come back consistent after clean restarts, checkpoints, and torn
 //! write-ahead-log tails.
 
+// Dev-tool output and test fixtures are written directly; the Vfs seam
+// covers production durability, not harness artifacts.
+#![allow(clippy::disallowed_methods)]
+
 use std::path::PathBuf;
 
 use ferret::attr::AttrsBuilder;
