@@ -5,13 +5,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use ferret_core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret_core::engine::{QueryMode, QueryOptions, SearchEngine};
 use ferret_core::filter::{filter_candidates, FilterParams};
 use ferret_core::object::ObjectId;
 use ferret_datatypes::image::{generate_mixed_images, image_sketch_params};
 
 fn engine_with(n: usize) -> SearchEngine {
-    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    let mut engine = SearchEngine::builder(image_sketch_params(96, 2), 3)
+        .build()
+        .unwrap();
     for (id, obj) in generate_mixed_images(n, 11) {
         engine.insert(id, obj).unwrap();
     }
@@ -32,10 +34,8 @@ fn bench_filter_scan(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_function(BenchmarkId::from_parameter(n), |b| {
             b.iter(|| {
-                let dataset = engine
-                    .ids()
-                    .iter()
-                    .map(|&id| (id, engine.sketched(id).unwrap()));
+                let ids = engine.ids();
+                let dataset = ids.iter().map(|&id| (id, engine.sketched(id).unwrap()));
                 black_box(filter_candidates(black_box(&query), dataset, &params).unwrap())
             });
         });
@@ -89,16 +89,14 @@ fn bench_disk_filter(c: &mut Criterion) {
     let path =
         std::env::temp_dir().join(format!("ferret-bench-diskdb-{}.fskd", std::process::id()));
     let mut writer = SketchFileWriter::create(&path, 96).unwrap();
-    for &id in engine.ids() {
+    for id in engine.ids() {
         writer.append(id, engine.sketched(id).unwrap()).unwrap();
     }
     writer.finish().unwrap();
     group.bench_function("memory", |b| {
         b.iter(|| {
-            let dataset = engine
-                .ids()
-                .iter()
-                .map(|&id| (id, engine.sketched(id).unwrap()));
+            let ids = engine.ids();
+            let dataset = ids.iter().map(|&id| (id, engine.sketched(id).unwrap()));
             black_box(filter_candidates(black_box(&query), dataset, &params).unwrap())
         });
     });

@@ -28,7 +28,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use ferret_attr::{AttrIndex, AttrsBuilder, Query};
-use ferret_core::engine::{EngineConfig, QueryOptions, QueryResponse, SearchEngine};
+use ferret_core::engine::{QueryOptions, QueryResponse, SearchEngine};
 use ferret_core::filter::FilterParams;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::sketch::SketchParams;
@@ -66,7 +66,7 @@ fn object(i: u64) -> DataObject {
 
 fn build() -> (SearchEngine, HashSet<ObjectId>) {
     let params = SketchParams::with_options(128, 2, vec![0.0; DIM], vec![1.0; DIM], None).unwrap();
-    let mut engine = SearchEngine::new(EngineConfig::basic(params, SEED));
+    let mut engine = SearchEngine::builder(params, SEED).build().unwrap();
     let mut attrs = AttrIndex::new();
     let items: Vec<(ObjectId, DataObject)> = (0..N as u64)
         .map(|i| {

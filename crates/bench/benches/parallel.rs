@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use ferret_core::distance::emd::Emd;
 use ferret_core::distance::lp::L1;
-use ferret_core::engine::{EngineConfig, SearchEngine};
+use ferret_core::engine::SearchEngine;
 use ferret_core::filter::{filter_candidates_sharded, FilterParams};
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::rank::{rank_candidates_parallel, SearchResult};
@@ -28,7 +28,9 @@ const FILTER_SIZES: [usize; 2] = [5_000, 20_000];
 const RANK_SIZES: [usize; 2] = [100, 400];
 
 fn engine_with(n: usize) -> SearchEngine {
-    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    let mut engine = SearchEngine::builder(image_sketch_params(96, 2), 3)
+        .build()
+        .unwrap();
     for (id, obj) in generate_mixed_images(n, 11) {
         engine.insert(id, obj).unwrap();
     }

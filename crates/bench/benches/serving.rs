@@ -28,7 +28,8 @@ const QUERIES_PER_CLIENT: usize = 40;
 const QUERY: &str = "query id=7 k=10 mode=filter r=2 cand=40";
 
 fn shared_service(n: usize) -> Arc<RwLock<FerretService>> {
-    let mut svc = FerretService::in_memory(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    let mut svc =
+        FerretService::in_memory(EngineConfig::basic(image_sketch_params(96, 2), 3)).unwrap();
     let batch: Vec<_> = generate_mixed_images(n, 11)
         .into_iter()
         .map(|(id, obj)| (id, obj, None))

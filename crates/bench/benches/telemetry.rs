@@ -16,7 +16,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ferret_core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret_core::engine::{QueryOptions, SearchEngine};
 use ferret_core::filter::FilterParams;
 use ferret_core::object::ObjectId;
 use ferret_core::telemetry::{MetricsRegistry, Unit, LATENCY_BUCKETS_NS};
@@ -25,7 +25,9 @@ use ferret_datatypes::image::{generate_mixed_images, image_sketch_params};
 const DATASET: usize = 5_000;
 
 fn engine_with(n: usize) -> SearchEngine {
-    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 3));
+    let mut engine = SearchEngine::builder(image_sketch_params(96, 2), 3)
+        .build()
+        .unwrap();
     for (id, obj) in generate_mixed_images(n, 11) {
         engine.insert(id, obj).unwrap();
     }

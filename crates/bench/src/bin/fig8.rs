@@ -16,7 +16,7 @@
 use std::time::Duration;
 
 use ferret_bench::BenchArgs;
-use ferret_core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret_core::engine::{EngineBuilder, EngineConfig, QueryMode, QueryOptions, SearchEngine};
 use ferret_core::filter::FilterParams;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_datatypes::audio::{generate_mixed_audio, mixed_audio_sketch_params};
@@ -25,7 +25,7 @@ use ferret_datatypes::shape::{generate_mixed_shapes, mixed_shape_sketch_params};
 use ferret_eval::{format_duration, time_queries, TextTable};
 
 fn build(objects: Vec<(ObjectId, DataObject)>, config: EngineConfig) -> SearchEngine {
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in objects {
         engine.insert(id, obj).expect("insert");
     }

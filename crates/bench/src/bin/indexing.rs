@@ -10,7 +10,7 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use ferret_bench::BenchArgs;
-use ferret_core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret_core::engine::{QueryOptions, SearchEngine};
 use ferret_core::filter::{filter_candidates, FilterParams};
 use ferret_core::index::{BandedSketchIndex, BandingParams};
 use ferret_core::object::ObjectId;
@@ -31,7 +31,9 @@ fn main() {
     let num_queries = 10usize;
     eprintln!("[indexing] generating and indexing {n} VARY images...");
     let dataset = generate_vary_dataset(&cfg);
-    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), args.seed));
+    let mut engine = SearchEngine::builder(image_sketch_params(96, 2), args.seed)
+        .build()
+        .unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }
@@ -69,10 +71,10 @@ fn main() {
     let mut cand_total = 0usize;
     let mut recall_total = 0.0f64;
     let start = Instant::now();
+    let ids = engine.ids();
     for (qi, &seed) in seeds.iter().enumerate() {
         let query = engine.sketched(seed).expect("seed").clone();
-        let dataset = engine
-            .ids()
+        let dataset = ids
             .iter()
             .map(|&id| (id, engine.sketched(id).expect("sketch")));
         let (cands, _) = filter_candidates(&query, dataset, &params).expect("filter");
@@ -92,7 +94,7 @@ fn main() {
     for (bands, rows) in [(12usize, 8usize), (8, 12), (6, 16)] {
         let bp = BandingParams { bands, rows };
         let mut index = BandedSketchIndex::new(96, bp).expect("params fit 96 bits");
-        for &id in engine.ids() {
+        for id in engine.ids() {
             index
                 .insert(id, engine.sketched(id).expect("sketch"))
                 .expect("insert");

@@ -11,7 +11,7 @@
 //! on one core; pass `--scale 1.0` for paper-size collections.
 
 use ferret_bench::BenchArgs;
-use ferret_core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret_core::engine::{EngineBuilder, EngineConfig, QueryOptions, SearchEngine};
 use ferret_core::filter::FilterParams;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_datatypes::audio::{generate_mixed_audio, mixed_audio_sketch_params};
@@ -20,7 +20,7 @@ use ferret_datatypes::shape::{generate_mixed_shapes, mixed_shape_sketch_params};
 use ferret_eval::{format_duration, time_queries, TextTable};
 
 fn build_engine(objects: Vec<(ObjectId, DataObject)>, config: EngineConfig) -> SearchEngine {
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in objects {
         engine.insert(id, obj).expect("insert");
     }

@@ -5,7 +5,7 @@
 //! collections (queries, distractors, dataset sizes) relative to its
 //! defaults, and prints plain-text tables in the shape of the paper's.
 
-use ferret_core::engine::{EngineConfig, SearchEngine};
+use ferret_core::engine::{EngineBuilder, EngineConfig, SearchEngine};
 use ferret_datatypes::Dataset;
 
 /// Parsed `--scale <f>` / `--seed <n>` / `--csv <path>` process arguments.
@@ -63,7 +63,7 @@ impl BenchArgs {
 
 /// Indexes a generated dataset into a fresh engine.
 pub fn index_dataset(dataset: &Dataset, config: EngineConfig) -> SearchEngine {
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine
             .insert(*id, obj.clone())

@@ -5,7 +5,6 @@
 //! unit. It supports the three query approaches evaluated in the paper
 //! (§6.3.3): `BruteForceOriginal`, `BruteForceSketch`, and `Filtering`.
 
-use std::collections::HashMap;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -14,12 +13,15 @@ use crate::distance::emd::{emd_with_costs, greedy_emd_with_costs, Emd, GreedyEmd
 use crate::distance::{ObjectDistance, SegmentDistance};
 use crate::error::{CoreError, Result};
 use crate::filter::{
-    filter_candidates_indexed, filter_candidates_sharded_traced, FilterParams, FilterStats,
+    filter_candidates_indexed_multi, filter_candidates_sharded_traced, FilterParams, FilterStats,
     FilterStrategy, IndexedFilterOutcome, ProbeStats,
 };
 use crate::object::{DataObject, ObjectId};
 use crate::parallel::{try_map_chunked, Parallelism, DEFAULT_CHUNK};
 use crate::rank::{rank_candidates_parallel, rank_scores, SearchResult};
+use crate::segment::{
+    IndexLayout, IndexStorage, MonolithicStorage, SegmentedStorage, StorageStats,
+};
 use crate::sketch::{
     ShardedSketchIndex, SketchBuilder, SketchParams, SketchStrategy, SketchedObject,
 };
@@ -89,7 +91,13 @@ impl std::fmt::Debug for RankingMethod {
 }
 
 /// Engine construction parameters.
+///
+/// Marked `#[non_exhaustive]` so new knobs can be added without breaking
+/// downstream crates: construct via [`EngineConfig::basic`] (or
+/// [`EngineBuilder`]), then refine fields directly or with the fluent
+/// `with_*` methods.
 #[derive(Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Sketch construction parameters (`N`, `K`, per-dimension ranges).
     pub sketch: SketchParams,
@@ -118,7 +126,22 @@ pub struct EngineConfig {
     /// [`SketchStrategy`]); this only trades plan memory for ingest
     /// throughput.
     pub sketch_strategy: SketchStrategy,
+    /// Which storage layout backs the object maps and sketch index:
+    /// one mutable monolith, or LSM-style immutable segments. Results
+    /// are bit-identical for every setting (see [`IndexLayout`]).
+    pub index_layout: IndexLayout,
+    /// Seal threshold of the segmented layout's memtable (ignored by
+    /// [`IndexLayout::Monolithic`]).
+    pub memtable_size: usize,
+    /// Run the segmented layout's background compaction worker (ignored
+    /// by [`IndexLayout::Monolithic`]). Off, segments only merge through
+    /// explicit [`SearchEngine::compact`] calls — deterministic, for
+    /// tests.
+    pub compaction: bool,
 }
+
+/// Default memtable seal threshold for [`IndexLayout::Segmented`].
+pub const DEFAULT_MEMTABLE_SIZE: usize = 1024;
 
 impl EngineConfig {
     /// Conventional configuration: ℓ₁ segment distance, exact EMD ranking,
@@ -133,7 +156,64 @@ impl EngineConfig {
             parallelism: Parallelism::Auto,
             filter_strategy: FilterStrategy::Auto,
             sketch_strategy: SketchStrategy::Classic,
+            index_layout: IndexLayout::default(),
+            memtable_size: DEFAULT_MEMTABLE_SIZE,
+            compaction: true,
         }
+    }
+
+    /// Sets the segment distance function.
+    pub fn with_seg_distance(mut self, seg_distance: Arc<dyn SegmentDistance>) -> Self {
+        self.seg_distance = seg_distance;
+        self
+    }
+
+    /// Sets the ranking method.
+    pub fn with_ranking(mut self, ranking: RankingMethod) -> Self {
+        self.ranking = ranking;
+        self
+    }
+
+    /// Keeps (or drops) original feature vectors in memory.
+    pub fn with_store_originals(mut self, store_originals: bool) -> Self {
+        self.store_originals = store_originals;
+        self
+    }
+
+    /// Sets the parallelism budget.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the filtering strategy.
+    pub fn with_filter_strategy(mut self, filter_strategy: FilterStrategy) -> Self {
+        self.filter_strategy = filter_strategy;
+        self
+    }
+
+    /// Sets the sketch construction strategy.
+    pub fn with_sketch_strategy(mut self, sketch_strategy: SketchStrategy) -> Self {
+        self.sketch_strategy = sketch_strategy;
+        self
+    }
+
+    /// Sets the index storage layout.
+    pub fn with_index_layout(mut self, index_layout: IndexLayout) -> Self {
+        self.index_layout = index_layout;
+        self
+    }
+
+    /// Sets the segmented layout's memtable seal threshold.
+    pub fn with_memtable_size(mut self, memtable_size: usize) -> Self {
+        self.memtable_size = memtable_size;
+        self
+    }
+
+    /// Enables or disables the segmented layout's background compaction.
+    pub fn with_compaction(mut self, compaction: bool) -> Self {
+        self.compaction = compaction;
+        self
     }
 }
 
@@ -435,52 +515,164 @@ impl MetadataFootprint {
     }
 }
 
+/// Builds a [`SearchEngine`], mirroring `ServiceBuilder` in the query
+/// crate. This is the one construction surface: the deprecated
+/// [`SearchEngine::new`] is a thin wrapper over it.
+///
+/// ```
+/// use ferret_core::prelude::*;
+/// let params = SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap();
+/// let engine = SearchEngine::builder(params, 42)
+///     .filter_strategy(FilterStrategy::Indexed)
+///     .index_layout(IndexLayout::Segmented)
+///     .memtable_size(64)
+///     .build()
+///     .unwrap();
+/// assert!(engine.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+    telemetry: Option<Arc<MetricsRegistry>>,
+}
+
+impl EngineBuilder {
+    /// Starts from the conventional configuration (see
+    /// [`EngineConfig::basic`]).
+    pub fn new(sketch: SketchParams, seed: u64) -> Self {
+        Self::from_config(EngineConfig::basic(sketch, seed))
+    }
+
+    /// Starts from an existing configuration.
+    pub fn from_config(config: EngineConfig) -> Self {
+        Self {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Sets the segment distance function.
+    pub fn seg_distance(mut self, seg_distance: Arc<dyn SegmentDistance>) -> Self {
+        self.config.seg_distance = seg_distance;
+        self
+    }
+
+    /// Sets the ranking method.
+    pub fn ranking(mut self, ranking: RankingMethod) -> Self {
+        self.config.ranking = ranking;
+        self
+    }
+
+    /// Keeps (or drops) original feature vectors in memory.
+    pub fn store_originals(mut self, store_originals: bool) -> Self {
+        self.config.store_originals = store_originals;
+        self
+    }
+
+    /// Sets the parallelism budget.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the filtering strategy.
+    pub fn filter_strategy(mut self, filter_strategy: FilterStrategy) -> Self {
+        self.config.filter_strategy = filter_strategy;
+        self
+    }
+
+    /// Sets the sketch construction strategy.
+    pub fn sketch_strategy(mut self, sketch_strategy: SketchStrategy) -> Self {
+        self.config.sketch_strategy = sketch_strategy;
+        self
+    }
+
+    /// Sets the index storage layout.
+    pub fn index_layout(mut self, index_layout: IndexLayout) -> Self {
+        self.config.index_layout = index_layout;
+        self
+    }
+
+    /// Sets the segmented layout's memtable seal threshold.
+    pub fn memtable_size(mut self, memtable_size: usize) -> Self {
+        self.config.memtable_size = memtable_size;
+        self
+    }
+
+    /// Enables or disables the segmented layout's background compaction.
+    pub fn compaction(mut self, compaction: bool) -> Self {
+        self.config.compaction = compaction;
+        self
+    }
+
+    /// Wires a metrics registry into the engine at construction time.
+    pub fn telemetry(mut self, registry: Option<Arc<MetricsRegistry>>) -> Self {
+        self.telemetry = registry;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<SearchEngine> {
+        let config = self.config;
+        let builder = SketchBuilder::with_strategy(
+            config.sketch.clone(),
+            config.seed,
+            config.sketch_strategy,
+        );
+        let sketch_scale = 1.0 / builder.hamming_per_l1();
+        let index_enabled = config.filter_strategy != FilterStrategy::Scan;
+        let storage: Box<dyn IndexStorage> = match config.index_layout {
+            IndexLayout::Monolithic => {
+                Box::new(MonolithicStorage::new(builder.nbits(), index_enabled)?)
+            }
+            IndexLayout::Segmented => Box::new(SegmentedStorage::new(
+                builder.nbits(),
+                index_enabled,
+                config.memtable_size,
+                config.compaction,
+            )),
+        };
+        let mut engine = SearchEngine {
+            builder,
+            sketch_scale,
+            config,
+            telemetry: None,
+            storage,
+        };
+        if self.telemetry.is_some() {
+            engine.set_telemetry(self.telemetry);
+        }
+        Ok(engine)
+    }
+}
+
 /// The core similarity search engine.
 pub struct SearchEngine {
     builder: SketchBuilder,
     /// Cached `1 / hamming_per_l1`, the sketch-to-l1 scale factor.
     sketch_scale: f64,
-    seg_distance: Arc<dyn SegmentDistance>,
-    ranking: RankingMethod,
-    store_originals: bool,
-    parallelism: Parallelism,
+    /// The full construction configuration, kept so [`SearchEngine::rebuild`]
+    /// preserves every knob (not just the ones it re-specifies).
+    config: EngineConfig,
     /// When set, queries are timed per stage, metrics are recorded into
     /// the registry, and responses carry a [`QueryTrace`].
     telemetry: Option<Arc<MetricsRegistry>>,
-    /// Insertion order, for deterministic scans.
-    order: Vec<ObjectId>,
-    objects: HashMap<ObjectId, DataObject>,
-    sketches: HashMap<ObjectId, SketchedObject>,
-    filter_strategy: FilterStrategy,
-    /// The multi-index over segment sketches, maintained through the whole
-    /// engine lifecycle (insert, batch insert, remove, rebuild, recovery
-    /// replay). `None` iff the strategy is [`FilterStrategy::Scan`].
-    index: Option<ShardedSketchIndex>,
+    /// The object maps and sketch index, behind the layout seam.
+    storage: Box<dyn IndexStorage>,
 }
 
 impl SearchEngine {
+    /// Starts an [`EngineBuilder`] with the conventional configuration.
+    pub fn builder(sketch: SketchParams, seed: u64) -> EngineBuilder {
+        EngineBuilder::new(sketch, seed)
+    }
+
     /// Creates an empty engine from a configuration.
+    #[deprecated(since = "0.2.0", note = "use SearchEngine::builder or EngineBuilder")]
     pub fn new(config: EngineConfig) -> Self {
-        let builder =
-            SketchBuilder::with_strategy(config.sketch, config.seed, config.sketch_strategy);
-        let sketch_scale = 1.0 / builder.hamming_per_l1();
-        let index = (config.filter_strategy != FilterStrategy::Scan).then(|| {
-            ShardedSketchIndex::new(builder.nbits()).expect("valid sketch params imply valid index")
-        });
-        Self {
-            builder,
-            sketch_scale,
-            seg_distance: config.seg_distance,
-            ranking: config.ranking,
-            store_originals: config.store_originals,
-            parallelism: config.parallelism,
-            telemetry: None,
-            order: Vec::new(),
-            objects: HashMap::new(),
-            sketches: HashMap::new(),
-            filter_strategy: config.filter_strategy,
-            index,
-        }
+        EngineBuilder::from_config(config)
+            .build()
+            .expect("valid sketch params imply valid engine")
     }
 
     /// The engine's sketch construction unit.
@@ -488,20 +680,30 @@ impl SearchEngine {
         &self.builder
     }
 
+    /// The engine's full construction configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's index storage layout.
+    pub fn index_layout(&self) -> IndexLayout {
+        self.storage.layout()
+    }
+
     /// The engine's parallelism setting.
     pub fn parallelism(&self) -> Parallelism {
-        self.parallelism
+        self.config.parallelism
     }
 
     /// Changes the parallelism setting. Affects only wall-clock time:
     /// results are bit-identical across settings.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
-        self.parallelism = parallelism;
+        self.config.parallelism = parallelism;
     }
 
     /// The engine's filtering strategy.
     pub fn filter_strategy(&self) -> FilterStrategy {
-        self.filter_strategy
+        self.config.filter_strategy
     }
 
     /// The engine's sketch construction strategy.
@@ -553,46 +755,63 @@ impl SearchEngine {
     /// [`FilterStrategy::Scan`] builds the multi-index from the stored
     /// sketches; switching to it drops the index. Results are
     /// byte-identical across strategies.
-    pub fn set_filter_strategy(&mut self, strategy: FilterStrategy) {
-        self.filter_strategy = strategy;
-        if strategy == FilterStrategy::Scan {
-            self.index = None;
-        } else if self.index.is_none() {
-            let mut index = ShardedSketchIndex::new(self.builder.nbits())
-                .expect("valid sketch params imply valid index");
-            for &id in &self.order {
-                let so = self.sketches.get(&id).expect("order/sketches in sync");
-                index.insert(id, so).expect("engine ids are unique");
-            }
-            self.index = Some(index);
-        }
-        self.publish_index_gauge();
+    pub fn set_filter_strategy(&mut self, strategy: FilterStrategy) -> Result<()> {
+        self.config.filter_strategy = strategy;
+        self.storage
+            .set_index_enabled(strategy != FilterStrategy::Scan)
     }
 
-    /// The multi-index over segment sketches, if one is maintained.
+    /// The multi-index over segment sketches, if the monolithic layout
+    /// maintains one (`None` for the segmented layout, whose indexes are
+    /// per-segment).
     pub fn filter_index(&self) -> Option<&ShardedSketchIndex> {
-        self.index.as_ref()
+        self.storage.monolithic_index()
     }
 
-    /// Approximate resident size of the filter index, in bytes (0 when
-    /// the strategy is [`FilterStrategy::Scan`]).
+    /// Approximate resident size of the filter index(es), in bytes (0
+    /// when the strategy is [`FilterStrategy::Scan`]).
     pub fn filter_index_bytes(&self) -> usize {
-        self.index
-            .as_ref()
-            .map_or(0, ShardedSketchIndex::memory_bytes)
+        self.storage.index_bytes()
     }
 
-    /// Publishes the index memory gauge into the metrics registry.
-    fn publish_index_gauge(&self) {
-        if let Some(registry) = &self.telemetry {
-            registry
-                .gauge(
-                    "ferret_index_memory_bytes",
-                    "Approximate resident size of the sketch filter index.",
-                    &[],
-                )
-                .set(self.filter_index_bytes() as i64);
-        }
+    /// Point-in-time statistics of the storage layout (segment counts,
+    /// memtable occupancy, tombstones).
+    pub fn storage_stats(&self) -> StorageStats {
+        self.storage.stats()
+    }
+
+    /// The storage epoch: a monotone counter advancing on every visible
+    /// mutation (insert, remove, seal, compaction apply). Equal epochs
+    /// imply identical visible state.
+    pub fn storage_epoch(&self) -> u64 {
+        self.storage.epoch()
+    }
+
+    /// Seals the segmented layout's memtable into an immutable segment
+    /// (no-op for the monolithic layout or an empty memtable).
+    pub fn seal(&mut self) -> Result<()> {
+        self.storage.seal()
+    }
+
+    /// Runs compaction to quiescence inline: merges small or
+    /// removal-heavy segment runs and builds their indexes synchronously.
+    /// For the monolithic layout this rebuilds the index in place.
+    pub fn compact(&mut self) -> Result<()> {
+        self.storage.merge()
+    }
+
+    /// Applies any finished background compactions and schedules due
+    /// ones, without blocking. Call periodically (the serve scan loop
+    /// does) so background merges land even when the write path is idle.
+    pub fn maintain(&mut self) -> Result<()> {
+        self.storage.maintain()
+    }
+
+    /// Attaches durable segment persistence (segmented layout only; the
+    /// monolithic layout has no segments and ignores this). The current
+    /// sealed segments are checkpointed immediately.
+    pub fn attach_segment_persistence(&mut self, store: ferret_store::SegmentStore) -> Result<()> {
+        self.storage.attach_persistence(store)
     }
 
     /// Enables (or disables, with `None`) telemetry collection. When
@@ -601,7 +820,7 @@ impl SearchEngine {
     /// response. Collection never changes query results.
     pub fn set_telemetry(&mut self, registry: Option<Arc<MetricsRegistry>>) {
         self.telemetry = registry;
-        self.publish_index_gauge();
+        self.storage.set_telemetry(self.telemetry.clone());
         // Register the ingest sketch series eagerly so `/metrics` shows
         // them (at zero) even before the first post-enable insert — the
         // initial import typically happens before telemetry is wired up.
@@ -639,37 +858,37 @@ impl SearchEngine {
 
     /// Number of objects stored.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.storage.len()
     }
 
     /// True if the engine holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
+        self.storage.is_empty()
     }
 
     /// True if `id` is stored.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.sketches.contains_key(&id)
+        self.storage.contains(id)
     }
 
     /// Object ids in insertion order.
-    pub fn ids(&self) -> &[ObjectId] {
-        &self.order
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.storage.live_ids()
     }
 
     /// The original object, if originals are stored.
     pub fn object(&self, id: ObjectId) -> Option<&DataObject> {
-        self.objects.get(&id)
+        self.storage.object(id)
     }
 
     /// The sketched form of an object.
     pub fn sketched(&self, id: ObjectId) -> Option<&SketchedObject> {
-        self.sketches.get(&id)
+        self.storage.sketch(id)
     }
 
     /// Inserts an object: sketches every segment and stores the metadata.
     pub fn insert(&mut self, id: ObjectId, object: DataObject) -> Result<()> {
-        if self.sketches.contains_key(&id) {
+        if self.storage.contains(id) {
             return Err(CoreError::DuplicateObject(id.0));
         }
         if object.dim() != self.builder.params().dim() {
@@ -683,16 +902,8 @@ impl SearchEngine {
         if let Some(elapsed) = clock.elapsed() {
             self.record_ingest_metrics(1, elapsed);
         }
-        if let Some(index) = self.index.as_mut() {
-            index.insert(id, &sketched)?;
-        }
-        self.sketches.insert(id, sketched);
-        if self.store_originals {
-            self.objects.insert(id, object);
-        }
-        self.order.push(id);
-        self.publish_index_gauge();
-        Ok(())
+        let original = self.config.store_originals.then_some(object);
+        self.storage.insert(id, sketched, original)
     }
 
     /// Inserts a batch of objects, sketching them in parallel according
@@ -706,7 +917,7 @@ impl SearchEngine {
     pub fn insert_batch(&mut self, items: Vec<(ObjectId, DataObject)>) -> Result<()> {
         let mut batch_ids = HashSet::with_capacity(items.len());
         for (id, object) in &items {
-            if self.sketches.contains_key(id) || !batch_ids.insert(*id) {
+            if self.storage.contains(*id) || !batch_ids.insert(*id) {
                 return Err(CoreError::DuplicateObject(id.0));
             }
             if object.dim() != self.builder.params().dim() {
@@ -716,7 +927,7 @@ impl SearchEngine {
                 });
             }
         }
-        let threads = self.parallelism.threads_for(items.len());
+        let threads = self.config.parallelism.threads_for(items.len());
         let clock = StageClock::start(self.telemetry.is_some());
         let sketched = try_map_chunked(threads, DEFAULT_CHUNK, &items, |_, (_, object)| {
             self.builder.sketch_object(object)
@@ -725,31 +936,18 @@ impl SearchEngine {
             self.record_ingest_metrics(items.len(), elapsed);
         }
         for ((id, object), so) in items.into_iter().zip(sketched) {
-            if let Some(index) = self.index.as_mut() {
-                index.insert(id, &so)?;
-            }
-            self.sketches.insert(id, so);
-            if self.store_originals {
-                self.objects.insert(id, object);
-            }
-            self.order.push(id);
+            let original = self.config.store_originals.then_some(object);
+            self.storage.insert(id, so, original)?;
         }
-        self.publish_index_gauge();
         Ok(())
     }
 
-    /// Removes an object; returns `true` if it was present.
-    pub fn remove(&mut self, id: ObjectId) -> bool {
-        let present = self.sketches.remove(&id).is_some();
-        self.objects.remove(&id);
-        if present {
-            self.order.retain(|&x| x != id);
-            if let Some(index) = self.index.as_mut() {
-                index.remove(id);
-            }
-            self.publish_index_gauge();
-        }
-        present
+    /// Removes an object; returns `true` if it was present. With the
+    /// segmented layout the removal is a tombstone until compaction
+    /// reclaims it, which is why this can now report an I/O error (the
+    /// tombstone may trigger a persisted compaction apply).
+    pub fn remove(&mut self, id: ObjectId) -> Result<bool> {
+        self.storage.tombstone(id)
     }
 
     /// Sketches a query object with the engine's construction unit.
@@ -761,15 +959,15 @@ impl SearchEngine {
     /// (per-dimension min/max), keeping `nbits`/`xor_folds` as given.
     /// Requires stored originals and at least one object.
     pub fn derive_sketch_params(&self, nbits: usize, xor_folds: usize) -> Result<SketchParams> {
-        if !self.store_originals {
+        if !self.config.store_originals {
             return Err(CoreError::InvalidQuery(
                 "engine is sketch-only; cannot derive parameters".into(),
             ));
         }
-        let vectors = self
-            .order
+        let live = self.storage.live_refs();
+        let vectors = live
             .iter()
-            .filter_map(|id| self.objects.get(id))
+            .filter_map(|(_, _, obj)| *obj)
             .flat_map(|o| o.segments().iter().map(|s| &s.vector));
         SketchParams::from_samples(nbits, xor_folds, vectors)
     }
@@ -778,44 +976,50 @@ impl SearchEngine {
     /// stored object (the parameter-tuning loop of paper §4.3). Requires
     /// stored originals.
     pub fn rebuild(&self, sketch: SketchParams, seed: u64) -> Result<SearchEngine> {
-        if !self.store_originals {
+        if !self.config.store_originals {
             return Err(CoreError::InvalidQuery(
                 "engine is sketch-only; cannot rebuild".into(),
             ));
         }
-        let mut rebuilt = SearchEngine::new(EngineConfig {
-            sketch,
-            seed,
-            seg_distance: Arc::clone(&self.seg_distance),
-            ranking: self.ranking.clone(),
-            store_originals: true,
-            parallelism: self.parallelism,
-            filter_strategy: self.filter_strategy,
-            sketch_strategy: self.builder.strategy(),
-        });
+        // Preserve the *entire* configuration — only the sketch geometry
+        // and seed change. (Constructing a fresh config here used to
+        // silently reset every knob added after the original fields.)
+        let mut config = self.config.clone();
+        config.sketch = sketch;
+        config.seed = seed;
         // Carry the registry over so a retune does not silently disable
         // telemetry on the replacement engine.
-        rebuilt.set_telemetry(self.telemetry.clone());
+        let mut rebuilt = EngineBuilder::from_config(config)
+            .telemetry(self.telemetry.clone())
+            .build()?;
         let items: Vec<(ObjectId, DataObject)> = self
-            .order
-            .iter()
-            .map(|&id| (id, self.objects.get(&id).expect("originals stored").clone()))
+            .storage
+            .live_refs()
+            .into_iter()
+            .filter_map(|(id, _, obj)| obj.map(|o| (id, o.clone())))
             .collect();
         rebuilt.insert_batch(items)?;
+        // The replacement engine takes over durable segment persistence:
+        // its first checkpoint commits a manifest naming only its own
+        // segment files, superseding (and garbage-collecting) ours.
+        if let Some(store) = self.storage.persistence_handle() {
+            rebuilt.attach_segment_persistence(store.clone())?;
+        }
         Ok(rebuilt)
     }
 
     /// Current metadata footprint (for storage-ratio reporting).
     pub fn metadata_footprint(&self) -> MetadataFootprint {
         let mut fp = MetadataFootprint::default();
-        for so in self.sketches.values() {
+        let live = self.storage.live_refs();
+        for (_, so, _) in &live {
             fp.segments += so.num_segments();
             for s in &so.sketches {
                 fp.sketch_bytes += s.len().div_ceil(8);
             }
         }
-        if self.store_originals {
-            for obj in self.objects.values() {
+        if self.config.store_originals {
+            for obj in live.iter().filter_map(|(_, _, obj)| *obj) {
                 for seg in obj.segments() {
                     fp.feature_vector_bytes += seg.vector.dim() * std::mem::size_of::<f32>();
                 }
@@ -993,8 +1197,8 @@ impl SearchEngine {
                 options.validate_shape()?;
                 // Sketch-only queries can be seeded without originals.
                 let mut seed = self
-                    .sketches
-                    .get(&id)
+                    .storage
+                    .sketch(id)
                     .ok_or(CoreError::UnknownObject(id.0))?
                     .clone();
                 if let Some(weights) = &options.weight_override {
@@ -1035,8 +1239,8 @@ impl SearchEngine {
             }
             _ => {
                 let seed = self
-                    .objects
-                    .get(&id)
+                    .storage
+                    .object(id)
                     .ok_or(CoreError::UnknownObject(id.0))?
                     .clone();
                 self.query(&seed, options)
@@ -1052,8 +1256,8 @@ impl SearchEngine {
     }
 
     fn object_distance_original(&self) -> Result<Box<dyn ObjectDistance + '_>> {
-        let ground = Arc::clone(&self.seg_distance);
-        Ok(match &self.ranking {
+        let ground = Arc::clone(&self.config.seg_distance);
+        Ok(match &self.config.ranking {
             RankingMethod::Emd => Box::new(Emd::new(ground)),
             RankingMethod::ThresholdedEmd { tau, sqrt_weights } => {
                 Box::new(ThresholdedEmd::new(ground, *tau, *sqrt_weights))
@@ -1070,25 +1274,25 @@ impl SearchEngine {
         stats: &mut QueryStats,
         trace: &mut Option<QueryTrace>,
     ) -> Result<Vec<SearchResult>> {
-        if !self.store_originals {
+        if !self.config.store_originals {
             return Err(CoreError::InvalidQuery(
                 "engine is sketch-only; BruteForceOriginal unavailable".into(),
             ));
         }
         let dist = self.object_distance_original()?;
-        let collected: Vec<(ObjectId, &DataObject)> = self
-            .order
+        let live = self.storage.live_refs();
+        let collected: Vec<(ObjectId, &DataObject)> = live
             .iter()
-            .filter_map(|&id| {
+            .filter_map(|&(id, _, obj)| {
                 if !self.allowed(id, options) {
                     return None;
                 }
-                self.objects.get(&id).map(|o| (id, o))
+                obj.map(|o| (id, o))
             })
             .collect();
         stats.objects_scanned = collected.len();
         stats.distance_evals = collected.len();
-        let threads = self.parallelism.threads_for(collected.len());
+        let threads = self.config.parallelism.threads_for(collected.len());
         let clock = StageClock::start(trace.is_some());
         let ranked = rank_candidates_parallel(query, &collected, dist.as_ref(), options.k, threads);
         if let (Some(t), Some(elapsed)) = (trace.as_mut(), clock.elapsed()) {
@@ -1110,7 +1314,7 @@ impl SearchEngine {
         // Single-segment objects: the object distance is the (scaled,
         // possibly thresholded) segment Hamming distance; skip the solver.
         if a.num_segments() == 1 && b.num_segments() == 1 {
-            return match &self.ranking {
+            return match &self.config.ranking {
                 RankingMethod::Emd | RankingMethod::GreedyEmd => Ok(ground(0, 0)),
                 RankingMethod::ThresholdedEmd { tau, .. } => Ok(ground(0, 0).min(*tau)),
                 RankingMethod::Custom(_) => Err(CoreError::InvalidQuery(
@@ -1118,7 +1322,7 @@ impl SearchEngine {
                 )),
             };
         }
-        match &self.ranking {
+        match &self.config.ranking {
             RankingMethod::Emd => emd_with_costs(&a.weights, &b.weights, ground),
             RankingMethod::ThresholdedEmd { tau, sqrt_weights } => {
                 let wa = transform_weights(&a.weights, *sqrt_weights);
@@ -1148,19 +1352,19 @@ impl SearchEngine {
                 });
             }
         }
-        let cands: Vec<(ObjectId, &SketchedObject)> = self
-            .order
+        let live = self.storage.live_refs();
+        let cands: Vec<(ObjectId, &SketchedObject)> = live
             .iter()
-            .filter_map(|&id| {
+            .filter_map(|&(id, so, _)| {
                 if !self.allowed(id, options) {
                     return None;
                 }
-                Some((id, self.sketches.get(&id).expect("order/sketches in sync")))
+                Some((id, so))
             })
             .collect();
         stats.objects_scanned = cands.len();
         stats.distance_evals = cands.len();
-        let threads = self.parallelism.threads_for(cands.len());
+        let threads = self.config.parallelism.threads_for(cands.len());
         let clock = StageClock::start(trace.is_some());
         let scored = try_map_chunked(threads, DEFAULT_CHUNK, &cands, |_, &(id, so)| {
             let d = self.sketched_object_distance(query, so)?;
@@ -1211,48 +1415,52 @@ impl SearchEngine {
         }
         // Strategy dispatch: `Indexed` always probes (and falls back to a
         // scan when the probe cannot prove exactness); `Auto` probes only
-        // when the corpus is large and the thresholds make a fallback
-        // impossible, so it never pays for a wasted probe.
-        let index = match self.filter_strategy {
+        // when the corpus is large, at least one indexed segment exists,
+        // and the thresholds make a fallback impossible, so it never pays
+        // for a wasted probe.
+        let probe_set = match self.config.filter_strategy {
             FilterStrategy::Scan => None,
-            FilterStrategy::Indexed => self.index.as_ref(),
-            FilterStrategy::Auto => self.index.as_ref().filter(|idx| {
+            FilterStrategy::Indexed => self.storage.probe_set(),
+            FilterStrategy::Auto => self.storage.probe_set().filter(|ps| {
                 self.len() >= AUTO_INDEX_MIN_OBJECTS
-                    && options
-                        .filter
-                        .guarantees_exact_probe(&qs, idx.exact_radius())
+                    && ps
+                        .exact_radius()
+                        .is_some_and(|r| options.filter.guarantees_exact_probe(&qs, r))
             }),
         };
         let clock = StageClock::start(trace.is_some());
         let mut strategy = "scan";
         let mut probe_stats: Option<ProbeStats> = None;
         let mut filter_threads = 0usize;
+        let live = self.storage.live_refs();
         let scan_fallback = |threads_out: &mut usize| -> Result<(
             HashSet<ObjectId>,
             FilterStats,
             Vec<FilterStats>,
         )> {
-            let dataset: Vec<(ObjectId, &SketchedObject)> = self
-                .order
+            let dataset: Vec<(ObjectId, &SketchedObject)> = live
                 .iter()
-                .filter_map(|&id| {
+                .filter_map(|&(id, so, _)| {
                     if !self.allowed(id, options) {
                         return None;
                     }
-                    self.sketches.get(&id).map(|so| (id, so))
+                    Some((id, so))
                 })
                 .collect();
-            let threads = self.parallelism.threads_for(dataset.len());
+            let threads = self.config.parallelism.threads_for(dataset.len());
             *threads_out = threads;
             filter_candidates_sharded_traced(&qs, &dataset, &options.filter, threads)
         };
-        let (candidates, fstats, shard_stats): (_, FilterStats, Vec<FilterStats>) = match index {
-            Some(idx) => {
-                let threads = self.parallelism.threads_for(idx.num_shards());
+        let (candidates, fstats, shard_stats): (_, FilterStats, Vec<FilterStats>) = match probe_set
+        {
+            Some(ps) => {
+                let shard_count: usize = ps.parts.iter().map(|p| p.index.num_shards()).sum();
+                let threads = self.config.parallelism.threads_for(shard_count.max(1));
                 filter_threads = threads;
-                match filter_candidates_indexed(
+                match filter_candidates_indexed_multi(
                     &qs,
-                    idx,
+                    &ps.parts,
+                    &ps.extras,
                     &options.filter,
                     options.restrict.as_ref(),
                     threads,
@@ -1314,7 +1522,10 @@ impl SearchEngine {
                 &[],
                 1,
             );
-            let skipped = self.order.iter().filter(|id| !allowed.contains(id)).count();
+            let skipped = live
+                .iter()
+                .filter(|(id, _, _)| !allowed.contains(id))
+                .count();
             registry.inc_counter(
                 "ferret_pushdown_skipped_total",
                 "Objects excluded before heap admission by predicate pushdown.",
@@ -1329,20 +1540,20 @@ impl SearchEngine {
         // Deterministic ranking order.
         let mut cand_ids: Vec<ObjectId> = candidates.into_iter().collect();
         cand_ids.sort();
-        let rank_threads = self.parallelism.threads_for(cand_ids.len());
+        let rank_threads = self.config.parallelism.threads_for(cand_ids.len());
         let clock = StageClock::start(trace.is_some());
-        let ranked = if self.store_originals {
+        let ranked = if self.config.store_originals {
             let dist = self.object_distance_original()?;
             let cands: Vec<(ObjectId, &DataObject)> = cand_ids
                 .iter()
-                .filter_map(|&id| self.objects.get(&id).map(|o| (id, o)))
+                .filter_map(|&id| self.storage.object(id).map(|o| (id, o)))
                 .collect();
             rank_candidates_parallel(query, &cands, dist.as_ref(), options.k, rank_threads)
         } else {
             // Sketch-only engine: rank candidates by sketch distance.
             let cands: Vec<(ObjectId, &SketchedObject)> = cand_ids
                 .iter()
-                .map(|&id| (id, self.sketches.get(&id).expect("candidate exists")))
+                .filter_map(|&id| self.storage.sketch(id).map(|so| (id, so)))
                 .collect();
             let scored = try_map_chunked(rank_threads, DEFAULT_CHUNK, &cands, |_, &(id, so)| {
                 let d = self.sketched_object_distance(&qs, so)?;
@@ -1392,7 +1603,7 @@ mod tests {
     }
 
     fn engine(nbits: usize, d: usize) -> SearchEngine {
-        SearchEngine::new(EngineConfig::basic(params(nbits, d), 42))
+        SearchEngine::builder(params(nbits, d), 42).build().unwrap()
     }
 
     #[test]
@@ -1480,8 +1691,8 @@ mod tests {
     fn remove_works() {
         let mut e = engine(64, 2);
         e.insert(ObjectId(1), obj(&[(&[0.5, 0.5], 1.0)])).unwrap();
-        assert!(e.remove(ObjectId(1)));
-        assert!(!e.remove(ObjectId(1)));
+        assert!(e.remove(ObjectId(1)).unwrap());
+        assert!(!e.remove(ObjectId(1)).unwrap());
         assert!(e.is_empty());
     }
 
@@ -1550,7 +1761,7 @@ mod tests {
     fn sketch_only_engine_rejects_brute_original() {
         let mut cfg = EngineConfig::basic(params(128, 2), 1);
         cfg.store_originals = false;
-        let mut e = SearchEngine::new(cfg);
+        let mut e = EngineBuilder::from_config(cfg).build().unwrap();
         e.insert(ObjectId(1), obj(&[(&[0.2, 0.2], 1.0)])).unwrap();
         assert!(e.object(ObjectId(1)).is_none());
         let q = obj(&[(&[0.2, 0.2], 1.0)]);
@@ -1589,7 +1800,7 @@ mod tests {
         batched.set_parallelism(Parallelism::Threads(3));
         batched.insert_batch(items).unwrap();
         assert_eq!(serial.ids(), batched.ids());
-        for &id in serial.ids() {
+        for id in serial.ids() {
             assert_eq!(serial.sketched(id), batched.sketched(id), "{id:?}");
             assert_eq!(serial.object(id), batched.object(id));
         }
@@ -1666,7 +1877,7 @@ mod tests {
             tau: 0.5,
             sqrt_weights: true,
         };
-        let mut e = SearchEngine::new(cfg);
+        let mut e = EngineBuilder::from_config(cfg).build().unwrap();
         for i in 0..5u64 {
             let x = i as f32 * 0.2;
             e.insert(ObjectId(i), obj(&[(&[x, x, x, x], 1.0)])).unwrap();
@@ -1691,7 +1902,7 @@ mod tests {
     fn custom_ranking_rejected_for_sketch_mode() {
         let mut cfg = EngineConfig::basic(params(64, 2), 1);
         cfg.ranking = RankingMethod::Custom(Arc::new(Emd::new(crate::distance::lp::L2)));
-        let mut e = SearchEngine::new(cfg);
+        let mut e = EngineBuilder::from_config(cfg).build().unwrap();
         e.insert(ObjectId(1), obj(&[(&[0.5, 0.5], 1.0)])).unwrap();
         let q = obj(&[(&[0.5, 0.5], 1.0)]);
         assert!(e.query(&q, &QueryOptions::brute_force_sketch(1)).is_err());
@@ -1719,7 +1930,7 @@ mod tests {
         // Sketch-only engines cannot rebuild.
         let mut cfg = EngineConfig::basic(params(64, 2), 1);
         cfg.store_originals = false;
-        let sk = SearchEngine::new(cfg);
+        let sk = EngineBuilder::from_config(cfg).build().unwrap();
         assert!(sk.derive_sketch_params(64, 1).is_err());
         assert!(sk.rebuild(params(64, 2), 0).is_err());
     }
@@ -1766,7 +1977,7 @@ mod tests {
     fn sketch_distance_scaling_tracks_l1() {
         // With many bits, the sketched object distance should approximate
         // the true EMD/l1 distance reasonably well.
-        let mut e = SearchEngine::new(EngineConfig::basic(params(4096, 4), 9));
+        let mut e = SearchEngine::builder(params(4096, 4), 9).build().unwrap();
         let a = obj(&[(&[0.2, 0.2, 0.2, 0.2], 1.0)]);
         let b = obj(&[(&[0.4, 0.4, 0.4, 0.4], 1.0)]);
         e.insert(ObjectId(1), b.clone()).unwrap();

@@ -325,6 +325,7 @@ impl FilterScan {
     fn probe_shard(
         &mut self,
         shard: &SketchIndex,
+        dead: Option<&HashSet<ObjectId>>,
         restrict: Option<&HashSet<ObjectId>>,
         probe: &mut ProbeStats,
     ) -> Result<()> {
@@ -358,6 +359,12 @@ impl FilterScan {
                     let Some((oid, sketch)) = shard.entry(eidx) else {
                         continue; // tombstoned
                     };
+                    // Segment-level tombstones (the segmented layout's dead
+                    // set) are removals the immutable index cannot record
+                    // in place; treat them exactly like tombstoned entries.
+                    if dead.is_some_and(|set| set.contains(&oid)) {
+                        continue;
+                    }
                     if restrict.is_some_and(|set| !set.contains(&oid)) {
                         probe.restrict_pruned += 1;
                         continue;
@@ -472,6 +479,21 @@ pub enum IndexedFilterOutcome {
     },
 }
 
+/// One immutable sketch index participating in a probe, with the
+/// segment-level tombstones ("dead set") the index itself cannot record.
+///
+/// The segmented storage layout keeps one [`ShardedSketchIndex`] per
+/// sealed segment; removals after sealing land in the owning segment's
+/// dead set instead of mutating the index. A probe over several parts
+/// skips dead objects exactly as if they had been tombstoned in place.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexedPart<'a> {
+    /// The immutable per-segment index.
+    pub index: &'a ShardedSketchIndex,
+    /// Objects removed from this segment after its index was built.
+    pub dead: Option<&'a HashSet<ObjectId>>,
+}
+
 /// Answers a [`FilterScan`]-shaped query through the multi-index instead
 /// of a full scan.
 ///
@@ -493,19 +515,53 @@ pub fn filter_candidates_indexed(
     restrict: Option<&HashSet<ObjectId>>,
     threads: usize,
 ) -> Result<IndexedFilterOutcome> {
-    let shards = index.shards();
+    filter_candidates_indexed_multi(
+        query,
+        &[IndexedPart { index, dead: None }],
+        &[],
+        params,
+        restrict,
+        threads,
+    )
+}
+
+/// [`filter_candidates_indexed`] generalized to a *set* of immutable
+/// per-segment indexes plus unindexed extras (the segmented layout's
+/// memtable and not-yet-compacted segments).
+///
+/// Every part is probed through the same bounded-heap admission; `extras`
+/// are fully observed like a scan would, so they can never cause a
+/// fallback. Exactness is decided against the *weakest* part: any segment
+/// the probe did not surface lies beyond its own part's pigeonhole radius,
+/// which is at least the minimum radius passed to
+/// [`FilterScan::complete_within`]. With no parts at all the probe *is* a
+/// full scan of `extras` and is unconditionally exact.
+pub fn filter_candidates_indexed_multi(
+    query: &SketchedObject,
+    parts: &[IndexedPart<'_>],
+    extras: &[(ObjectId, &SketchedObject)],
+    params: &FilterParams,
+    restrict: Option<&HashSet<ObjectId>>,
+    threads: usize,
+) -> Result<IndexedFilterOutcome> {
+    // Flatten to one probe-able shard list so parallelism sees the whole
+    // probe surface, not one part at a time.
+    let flat: Vec<(&SketchIndex, Option<&HashSet<ObjectId>>)> = parts
+        .iter()
+        .flat_map(|p| p.index.shards().iter().map(move |s| (s, p.dead)))
+        .collect();
     let probe_range = |range: std::ops::Range<usize>| -> Result<(FilterScan, ProbeStats)> {
         let mut scan = FilterScan::new(query, params)?;
         let mut probe = ProbeStats::default();
-        for shard in &shards[range] {
-            scan.probe_shard(shard, restrict, &mut probe)?;
+        for &(shard, dead) in &flat[range] {
+            scan.probe_shard(shard, dead, restrict, &mut probe)?;
         }
         Ok((scan, probe))
     };
-    let outcomes = if threads <= 1 || shards.len() <= 1 {
-        vec![probe_range(0..shards.len())]
+    let outcomes = if threads <= 1 || flat.len() <= 1 {
+        vec![probe_range(0..flat.len())]
     } else {
-        crate::parallel::map_shards(threads, shards.len(), |_, range| probe_range(range))
+        crate::parallel::map_shards(threads, flat.len(), |_, range| probe_range(range))
     };
     let mut merged: Option<FilterScan> = None;
     let mut probe = ProbeStats::default();
@@ -517,11 +573,23 @@ pub fn filter_candidates_indexed(
             Some(m) => m.merge(scan),
         }
     }
-    let merged = match merged {
+    let mut merged = match merged {
         Some(m) => m,
-        None => FilterScan::new(query, params)?, // empty index
+        None => FilterScan::new(query, params)?, // no indexed parts
     };
-    if merged.complete_within(index.exact_radius()) {
+    // Unindexed extras are observed in full, exactly like a scan.
+    for &(id, so) in extras {
+        if restrict.is_some_and(|set| !set.contains(&id)) {
+            continue;
+        }
+        merged.observe(id, so)?;
+    }
+    let radius = parts.iter().map(|p| p.index.exact_radius()).min();
+    let exact = match radius {
+        None => true, // everything was fully scanned
+        Some(r) => merged.complete_within(r),
+    };
+    if exact {
         let (candidates, stats) = merged.finish();
         Ok(IndexedFilterOutcome::Exact {
             candidates,

@@ -17,7 +17,7 @@
 //!
 //! // An engine over 2-d feature vectors in [0, 1]^2 with 64-bit sketches.
 //! let params = SketchParams::new(64, vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
-//! let mut engine = SearchEngine::new(EngineConfig::basic(params, 42));
+//! let mut engine = SearchEngine::builder(params, 42).build().unwrap();
 //!
 //! // Insert two single-segment objects.
 //! let near = DataObject::single(FeatureVector::new(vec![0.21, 0.19]).unwrap());
@@ -44,6 +44,7 @@ pub mod object;
 pub mod parallel;
 pub mod plugin;
 pub mod rank;
+pub mod segment;
 pub mod series;
 pub mod sketch;
 pub mod telemetry;
@@ -57,8 +58,8 @@ pub mod prelude {
     pub use crate::distance::lp::{LInf, Lp, WeightedL1, L1, L2};
     pub use crate::distance::{ObjectDistance, SegmentDistance};
     pub use crate::engine::{
-        EngineConfig, MetadataFootprint, QueryMode, QueryOptions, QueryResponse, QueryStats,
-        RankingMethod, SearchEngine,
+        EngineBuilder, EngineConfig, MetadataFootprint, QueryMode, QueryOptions, QueryResponse,
+        QueryStats, RankingMethod, SearchEngine,
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::filter::{FilterParams, FilterScan, FilterStats, FilterStrategy, ProbeStats};
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::parallel::Parallelism;
     pub use crate::plugin::{Extractor, FileExtractor};
     pub use crate::rank::SearchResult;
+    pub use crate::segment::{IndexLayout, IndexStorage, StorageStats};
     pub use crate::sketch::{
         BitVec, ShardedSketchIndex, SketchBuilder, SketchIndex, SketchParams, SketchedObject,
     };

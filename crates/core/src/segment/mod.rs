@@ -1,0 +1,265 @@
+//! Index storage layouts: the monolithic engine state and the LSM-style
+//! segmented layout, behind one [`IndexStorage`] seam.
+//!
+//! The engine historically owned one mutable object map plus one mutable
+//! [`ShardedSketchIndex`]; every structural change (index rebuild, retune)
+//! was stop-the-world. This module extracts that state behind a trait with
+//! two implementations:
+//!
+//! * [`MonolithicStorage`] — the original behavior: one insertion-ordered
+//!   map and one incrementally maintained index.
+//! * [`SegmentedStorage`] — an LSM-style layout: a small mutable
+//!   **memtable** absorbs inserts; when it reaches the configured size it
+//!   is **sealed** into an immutable segment; a background **compaction**
+//!   worker merges adjacent small segments and builds each merged
+//!   segment's index off the write path; removals land in per-segment
+//!   **dead sets** until compaction reclaims them.
+//!
+//! The exactness contract is layout-independent: query results are
+//! bit-identical across layouts for the same live object set (pinned by
+//! `tests/segmented_index.rs`), because probes and scans share the same
+//! total-order heap admission (see [`crate::filter`]).
+
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+use crate::filter::IndexedPart;
+use crate::object::{DataObject, ObjectId};
+use crate::sketch::SketchedObject;
+use crate::telemetry::MetricsRegistry;
+use ferret_store::SegmentStore;
+
+mod monolithic;
+mod segmented;
+
+pub use monolithic::MonolithicStorage;
+pub use segmented::SegmentedStorage;
+
+/// Which storage layout backs the engine's object maps and sketch index.
+///
+/// Both layouts answer every query bit-identically; they differ in how
+/// structural maintenance interacts with ingest. `Monolithic` mutates one
+/// index in place and rebuilds it stop-the-world; `Segmented` seals
+/// immutable segments and compacts them in the background, so reads never
+/// wait on an index build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexLayout {
+    /// One mutable object map and one mutable sketch index (the original
+    /// engine behavior).
+    #[default]
+    Monolithic,
+    /// LSM-style memtable + immutable sealed segments with background
+    /// compaction.
+    Segmented,
+}
+
+impl std::fmt::Display for IndexLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IndexLayout::Monolithic => "monolithic",
+            IndexLayout::Segmented => "segmented",
+        })
+    }
+}
+
+impl std::str::FromStr for IndexLayout {
+    type Err = CoreError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        match s {
+            "monolithic" => Ok(IndexLayout::Monolithic),
+            "segmented" => Ok(IndexLayout::Segmented),
+            other => Err(CoreError::InvalidQuery(format!(
+                "unknown index layout {other:?} (expected monolithic or segmented)"
+            ))),
+        }
+    }
+}
+
+/// Point-in-time shape of an [`IndexStorage`], for `stat` reporting and
+/// the segment gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Objects visible to queries.
+    pub live_objects: usize,
+    /// Objects still in the mutable memtable (0 for monolithic).
+    pub memtable_objects: usize,
+    /// Immutable sealed segments (0 for monolithic).
+    pub sealed_segments: usize,
+    /// Sealed segments whose per-segment index has been built.
+    pub indexed_segments: usize,
+    /// Removed objects whose storage has not been reclaimed yet.
+    pub tombstones: usize,
+}
+
+/// Everything the indexed filter path needs from a storage layout: the
+/// immutable per-segment indexes (with their dead sets) plus the records
+/// that are not indexed yet and must be scanned outright.
+///
+/// Fed to [`crate::filter::filter_candidates_indexed_multi`].
+pub struct ProbeSet<'a> {
+    /// Indexed parts, in segment order.
+    pub parts: Vec<IndexedPart<'a>>,
+    /// Live unindexed records (memtable + segments awaiting compaction),
+    /// in insertion order.
+    pub extras: Vec<(ObjectId, &'a SketchedObject)>,
+}
+
+impl ProbeSet<'_> {
+    /// The guaranteed-exact probe radius of the *weakest* indexed part,
+    /// or `None` when there are no indexed parts (the probe is then a
+    /// full scan and unconditionally exact).
+    pub fn exact_radius(&self) -> Option<u32> {
+        self.parts.iter().map(|p| p.index.exact_radius()).min()
+    }
+}
+
+/// A pinned read view of an [`IndexStorage`]: the epoch it was taken at,
+/// the probe surface, and every live record.
+///
+/// Borrowing `&self` keeps the storage immutable for the snapshot's
+/// lifetime, so the epoch, probe set, and live list are mutually
+/// consistent — a reader iterating the snapshot never sees a half-applied
+/// seal or compaction.
+pub struct StorageSnapshot<'a> {
+    /// The storage's epoch when the snapshot was taken. Advances on every
+    /// mutation (insert, tombstone, seal, compaction apply), so equal
+    /// epochs imply identical visible state.
+    pub epoch: u64,
+    /// The indexed probe surface, `None` when indexing is disabled.
+    pub probe: Option<ProbeSet<'a>>,
+    /// Every live record in insertion order: sealed segments first (in
+    /// seal order), then the memtable.
+    pub live: Vec<(ObjectId, &'a SketchedObject, Option<&'a DataObject>)>,
+}
+
+/// The storage seam between the engine and its object/index state.
+///
+/// One implementation per [`IndexLayout`]. All mutation happens through
+/// `&mut self` (the service serializes writers behind its lock); readers
+/// borrow plain `&self` views, so the borrow checker enforces that a
+/// snapshot can never observe a torn mutation.
+pub trait IndexStorage: Send + Sync {
+    /// The layout this storage implements.
+    fn layout(&self) -> IndexLayout;
+
+    /// Live (visible) objects.
+    fn len(&self) -> usize;
+
+    /// True if no live objects remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `id` is live.
+    fn contains(&self, id: ObjectId) -> bool;
+
+    /// The original object, if originals are stored and `id` is live.
+    fn object(&self, id: ObjectId) -> Option<&DataObject>;
+
+    /// The sketched form of a live object.
+    fn sketch(&self, id: ObjectId) -> Option<&SketchedObject>;
+
+    /// Live object ids in insertion order (sealed segments in seal order,
+    /// then the memtable).
+    fn live_ids(&self) -> Vec<ObjectId>;
+
+    /// Every live record in insertion order.
+    fn live_refs(&self) -> Vec<(ObjectId, &SketchedObject, Option<&DataObject>)>;
+
+    /// Inserts a new object. `original` is `None` for sketch-only engines.
+    fn insert(
+        &mut self,
+        id: ObjectId,
+        sketched: SketchedObject,
+        original: Option<DataObject>,
+    ) -> Result<()>;
+
+    /// Removes `id` from the visible set; returns `true` if it was live.
+    ///
+    /// Segmented storage cannot mutate sealed segments, so the removal is
+    /// recorded in the owning segment's dead set and reclaimed by a later
+    /// compaction — hence "tombstone", not "remove".
+    fn tombstone(&mut self, id: ObjectId) -> Result<bool>;
+
+    /// Freezes the current memtable into an immutable sealed segment
+    /// (no-op when the memtable is empty, and for monolithic storage).
+    fn seal(&mut self) -> Result<()>;
+
+    /// Runs compaction to quiescence *inline* and deterministically:
+    /// applies any finished background merges, then merges/builds until no
+    /// maintenance is due. For monolithic storage this rebuilds the index
+    /// from the live set (reclaiming tombstones) — the stop-the-world
+    /// behavior the segmented layout exists to avoid.
+    fn merge(&mut self) -> Result<()>;
+
+    /// Applies finished background work and schedules any due compaction,
+    /// without blocking on it. Writers call this opportunistically; a
+    /// periodic caller (the serve scan loop) guarantees progress even on
+    /// an idle write path.
+    fn maintain(&mut self) -> Result<()>;
+
+    /// Enables or disables sketch indexing (the [`FilterStrategy::Scan`]
+    /// strategy disables it).
+    ///
+    /// [`FilterStrategy::Scan`]: crate::filter::FilterStrategy::Scan
+    fn set_index_enabled(&mut self, enabled: bool) -> Result<()>;
+
+    /// True if sketch indexing is enabled.
+    fn index_enabled(&self) -> bool;
+
+    /// The indexed probe surface, `None` when indexing is disabled.
+    fn probe_set(&self) -> Option<ProbeSet<'_>>;
+
+    /// The monolithic sketch index, if this layout maintains exactly one
+    /// (diagnostics; segmented storage returns `None`).
+    fn monolithic_index(&self) -> Option<&crate::sketch::ShardedSketchIndex> {
+        None
+    }
+
+    /// Approximate resident bytes of all sketch indexes.
+    fn index_bytes(&self) -> usize;
+
+    /// Point-in-time layout statistics.
+    fn stats(&self) -> StorageStats;
+
+    /// Monotone version counter; advances on every visible mutation.
+    fn epoch(&self) -> u64;
+
+    /// Takes a pinned, mutually consistent read view.
+    fn snapshot(&self) -> StorageSnapshot<'_>;
+
+    /// Wires (or unwires) the metrics registry the storage publishes its
+    /// gauges and compaction series into.
+    fn set_telemetry(&mut self, registry: Option<Arc<MetricsRegistry>>);
+
+    /// Attaches durable segment persistence. The storage checkpoints its
+    /// current sealed segments immediately and persists every subsequent
+    /// seal and compaction through the store's manifest-swap protocol.
+    /// Monolithic storage has no segments to persist and ignores this.
+    fn attach_persistence(&mut self, store: SegmentStore) -> Result<()>;
+
+    /// The attached segment store, if any.
+    fn persistence_handle(&self) -> Option<&SegmentStore>;
+}
+
+/// Converts a store-layer failure into the engine's error type.
+pub(crate) fn store_err(e: ferret_store::StoreError) -> CoreError {
+    CoreError::Io(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_layout_parse_roundtrip() {
+        for layout in [IndexLayout::Monolithic, IndexLayout::Segmented] {
+            assert_eq!(layout.to_string().parse::<IndexLayout>().unwrap(), layout);
+        }
+        for bad in ["", "lsm", "Monolithic", "segmented "] {
+            assert!(bad.parse::<IndexLayout>().is_err(), "{bad:?}");
+        }
+        assert_eq!(IndexLayout::default(), IndexLayout::Monolithic);
+    }
+}

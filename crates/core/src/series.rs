@@ -57,6 +57,8 @@ pub const SERIES: &[SeriesDef] = series![
     "ferret_cache_memory_bytes", G, "Approximate resident size of the result cache.";
     "ferret_cache_misses_total", C, "Result-cache lookups that fell through to the engine.";
     "ferret_commands_total", C, "Protocol commands executed, by command.";
+    "ferret_compaction_seconds", HL, "Latency of segment compaction merges.";
+    "ferret_compactions_total", C, "Segment compaction merges completed.";
     "ferret_filter_buckets_pruned_total", C, "Hamming-index buckets skipped by the triangle-inequality bound.";
     "ferret_filter_restrict_pruned_total", C, "Objects excluded from the filter scan by an attribute restriction.";
     "ferret_fusion_queries_total", C, "Hybrid queries executed, by fusion mode.";
@@ -68,6 +70,7 @@ pub const SERIES: &[SeriesDef] = series![
     "ferret_insert_batch_size", HS, "Objects per insert batch.";
     "ferret_inserts_total", C, "Objects inserted.";
     "ferret_lock_wait_seconds", HL, "Time spent waiting for the service lock, by operation class.";
+    "ferret_memtable_objects", G, "Objects in the mutable memtable awaiting seal.";
     "ferret_pushdown_queries_total", C, "Filter-stage queries that carried an attribute candidate set.";
     "ferret_pushdown_skipped_total", C, "Objects excluded before heap admission by predicate pushdown.";
     "ferret_queries_total", C, "Similarity queries executed, by mode.";
@@ -78,6 +81,7 @@ pub const SERIES: &[SeriesDef] = series![
     "ferret_query_segments_scanned_total", C, "Segment sketches compared in the filtering stage.";
     "ferret_query_stage_seconds", HL, "Per-stage query latency, by stage.";
     "ferret_rejected_total", C, "Queries rejected by admission control.";
+    "ferret_segments", G, "Immutable sealed segments in the engine.";
     "ferret_sketch_build_seconds", HL, "Sketch-construction latency per ingest batch.";
     "ferret_sketch_objects_per_sec", G, "Ingest sketch-construction throughput of the most recent batch.";
     "ferret_sketch_objects_total", C, "Objects sketched on the ingest path, by construction strategy.";

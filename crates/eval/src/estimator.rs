@@ -26,7 +26,7 @@
 //! benchmark suite (the strategies are bit-identical by design, so the
 //! divergence count must be zero).
 
-use ferret_core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret_core::engine::{EngineBuilder, EngineConfig, QueryOptions, SearchEngine};
 use ferret_core::error::Result;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::sketch::{SketchBuilder, SketchParams, SketchStrategy};
@@ -317,7 +317,7 @@ pub fn recall_parity(
     let build = |strategy: SketchStrategy| -> Result<SearchEngine> {
         let mut config = EngineConfig::basic(params.clone(), seed);
         config.sketch_strategy = strategy;
-        let mut engine = SearchEngine::new(config);
+        let mut engine = EngineBuilder::from_config(config).build()?;
         for (id, object) in objects {
             engine.insert(*id, object.clone())?;
         }

@@ -214,14 +214,14 @@ pub fn time_queries(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ferret_core::engine::{EngineConfig, SearchEngine};
+    use ferret_core::engine::SearchEngine;
     use ferret_core::object::DataObject;
     use ferret_core::sketch::SketchParams;
     use ferret_core::vector::FeatureVector;
 
     fn engine_with_clusters() -> (SearchEngine, BenchmarkSuite) {
         let params = SketchParams::new(256, vec![0.0; 4], vec![1.0; 4]).unwrap();
-        let mut engine = SearchEngine::new(EngineConfig::basic(params, 11));
+        let mut engine = SearchEngine::builder(params, 11).build().unwrap();
         // Two clusters of 3 objects each + 4 distractors.
         let mut id = 0u64;
         let mut sets = Vec::new();

@@ -20,6 +20,7 @@ pub const ENUMS: &[(&str, &str)] = &[
     ("SketchStrategy", "crates/core/src/sketch/onepass.rs"),
     ("Parallelism", "crates/core/src/parallel.rs"),
     ("FusionMode", "crates/core/src/engine.rs"),
+    ("IndexLayout", "crates/core/src/segment/mod.rs"),
 ];
 
 /// Files whose raw text constitutes "the CLI help" (usage strings and the

@@ -297,13 +297,17 @@ fn parity_files(fusion_display: &str) -> Vec<(&'static str, String)> {
             enum_src("FusionMode", fusion_display, "rrf"),
         ),
         (
+            "crates/core/src/segment/mod.rs",
+            enum_src("IndexLayout", "segmented", "segmented"),
+        ),
+        (
             "src/bin/ferret.rs",
-            "const USAGE: &str = \"strategies: scan twopass serial rrf\";\nfn main() {}\n"
+            "const USAGE: &str = \"strategies: scan twopass serial rrf segmented\";\nfn main() {}\n"
                 .to_string(),
         ),
         (
             "crates/query/src/protocol.rs",
-            "pub const HELP: &str = \"scan twopass serial rrf\";\n".to_string(),
+            "pub const HELP: &str = \"scan twopass serial rrf segmented\";\n".to_string(),
         ),
     ]
 }
@@ -311,7 +315,10 @@ fn parity_files(fusion_display: &str) -> Vec<(&'static str, String)> {
 fn parity_repo(fusion_display: &str) -> Repo {
     let files = parity_files(fusion_display);
     let refs: Vec<(&str, &str)> = files.iter().map(|(p, t)| (*p, t.as_str())).collect();
-    Repo::from_memory(&refs, &[("README.md", "modes: scan twopass serial rrf")])
+    Repo::from_memory(
+        &refs,
+        &[("README.md", "modes: scan twopass serial rrf segmented")],
+    )
 }
 
 #[test]
@@ -335,7 +342,7 @@ fn enum_parity_fires_when_enum_file_missing() {
     let repo = Repo::from_memory(&[("crates/foo/src/lib.rs", "pub fn f() {}\n")], &[]);
     let v = fires(&repo, "strategy-enum-parity");
     // One finding per contracted enum whose defining file is absent.
-    assert_eq!(v.len(), 4, "{v:?}");
+    assert_eq!(v.len(), 5, "{v:?}");
 }
 
 // ------------------------------------------------------- report partition --

@@ -117,8 +117,12 @@ impl ResultCache {
         if !self.enabled() {
             return None;
         }
-        let epoch = self.epoch();
         let mut inner = self.inner.lock();
+        // The epoch must be read under the lock: reading it first races
+        // with a concurrent bump+store, and the reader would then remove
+        // the freshly stored entry as "stale" (its epoch is newer than
+        // the one the reader loaded).
+        let epoch = self.epoch();
         let mut evicted_stale = false;
         let result = match inner.entries.get(key) {
             Some(entry) if entry.epoch == epoch => {

@@ -14,7 +14,7 @@
 //!
 //! let config = EngineConfig::basic(
 //!     SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(), 1);
-//! let mut service = FerretService::in_memory(config);
+//! let mut service = FerretService::in_memory(config).unwrap();
 //! service.insert(
 //!     ObjectId(1),
 //!     DataObject::single(FeatureVector::new(vec![0.5, 0.5]).unwrap()),

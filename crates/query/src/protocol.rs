@@ -104,6 +104,10 @@ pub enum Response {
         feature_bytes: usize,
         /// Approximate filter-index bytes (0 with the scan strategy).
         index_bytes: usize,
+        /// Immutable sealed index segments (0 for the monolithic layout).
+        index_segments: usize,
+        /// Objects in the mutable memtable (0 for the monolithic layout).
+        memtable_objects: usize,
     },
     /// Help text.
     Help,
@@ -148,9 +152,11 @@ pub fn render_response(resp: &Response) -> String {
             sketch_bytes,
             feature_bytes,
             index_bytes,
+            index_segments,
+            memtable_objects,
         } => {
             format!(
-                "OK 5\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\nindex_bytes {index_bytes}\n"
+                "OK 7\nobjects {objects}\nsegments {segments}\nsketch_bytes {sketch_bytes}\nfeature_bytes {feature_bytes}\nindex_bytes {index_bytes}\nindex_segments {index_segments}\nmemtable_objects {memtable_objects}\n"
             )
         }
         Response::Help => format!("OK help\n{HELP_TEXT}\n"),
@@ -220,8 +226,10 @@ pub fn response_to_json(resp: &Response) -> String {
             sketch_bytes,
             feature_bytes,
             index_bytes,
+            index_segments,
+            memtable_objects,
         } => format!(
-            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes},\"index_bytes\":{index_bytes}}}"
+            "{{\"ok\":true,\"objects\":{objects},\"segments\":{segments},\"sketch_bytes\":{sketch_bytes},\"feature_bytes\":{feature_bytes},\"index_bytes\":{index_bytes},\"index_segments\":{index_segments},\"memtable_objects\":{memtable_objects}}}"
         ),
         Response::Help => format!("{{\"ok\":true,\"help\":\"{}\"}}", json_escape(HELP_TEXT)),
         Response::Bye | Response::Ok => "{\"ok\":true}".to_string(),

@@ -406,7 +406,7 @@ mod tests {
             SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(),
             3,
         );
-        let mut svc = FerretService::in_memory(config);
+        let mut svc = FerretService::in_memory(config).unwrap();
         for i in 0..5u64 {
             let x = 0.1 + i as f32 * 0.2;
             svc.insert(

@@ -16,13 +16,15 @@ use parking_lot::Mutex;
 use ferret_attr::{AttrStore, Attributes};
 use ferret_core::codec::{decode_object, encode_object};
 use ferret_core::engine::{
-    similarity_from_distance, EngineConfig, FusionMode, QueryOptions, QueryResponse, SearchEngine,
+    similarity_from_distance, EngineBuilder, EngineConfig, FusionMode, QueryOptions, QueryResponse,
+    SearchEngine,
 };
 use ferret_core::error::CoreError;
 use ferret_core::object::{DataObject, ObjectId};
 use ferret_core::parallel::Parallelism;
+use ferret_core::segment::IndexLayout;
 use ferret_core::telemetry::{MetricsRegistry, QueryTrace, Unit, SIZE_BUCKETS};
-use ferret_store::{Database, DbOptions, StoreError, Vfs};
+use ferret_store::{Database, DbOptions, SegmentStore, StoreError, Vfs};
 
 use crate::cache::ResultCache;
 use crate::fusion::{rank_attr_scores, rrf_fuse, weighted_fuse, FusedHit};
@@ -124,7 +126,7 @@ impl TraceRing {
 ///
 /// let config = EngineConfig::basic(
 ///     SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(), 1);
-/// let service = ServiceBuilder::new(config).build_in_memory();
+/// let service = ServiceBuilder::new(config).build_in_memory().unwrap();
 /// assert!(service.engine().is_empty());
 /// ```
 pub struct ServiceBuilder {
@@ -212,9 +214,9 @@ impl ServiceBuilder {
     }
 
     /// Builds an in-memory service (no persistence).
-    pub fn build_in_memory(self) -> FerretService {
-        let engine = SearchEngine::new(self.config.clone());
-        self.finish(engine, AttrStore::new(), None)
+    pub fn build_in_memory(self) -> Result<FerretService, ServiceError> {
+        let engine = EngineBuilder::from_config(self.config.clone()).build()?;
+        Ok(self.finish(engine, AttrStore::new(), None))
     }
 
     /// Opens (or creates) a persistent service in `dir`, recovering all
@@ -225,7 +227,7 @@ impl ServiceBuilder {
             Some(vfs) => Database::open_with_vfs(Arc::clone(vfs), dir, self.db_options)?,
             None => Database::open_with(dir, self.db_options)?,
         };
-        let mut engine = SearchEngine::new(self.config.clone());
+        let mut engine = EngineBuilder::from_config(self.config.clone()).build()?;
         let mut recovered = Vec::new();
         for (key, value) in db.iter_table(FEATURES_TABLE) {
             let id = match <[u8; 8]>::try_from(key) {
@@ -242,6 +244,17 @@ impl ServiceBuilder {
         // Sketch construction dominates recovery time, so the whole recovered
         // set goes through the batch-parallel insert path.
         engine.insert_batch(recovered)?;
+        if engine.index_layout() == IndexLayout::Segmented {
+            // Segmented engines persist sealed segments alongside the
+            // metadata store, through the same VFS so fault-injection
+            // tests cover the segment manifest-swap protocol too.
+            let vfs: Arc<dyn Vfs> = match &self.vfs {
+                Some(vfs) => Arc::clone(vfs),
+                None => Arc::new(ferret_store::StdVfs),
+            };
+            let store = SegmentStore::open(vfs, &dir.join("segments"))?;
+            engine.attach_segment_persistence(store)?;
+        }
         let attrs = AttrStore::load(&db)?;
         Ok(self.finish(engine, attrs, Some(db)))
     }
@@ -269,7 +282,7 @@ impl FerretService {
 
     /// Creates an in-memory service (no persistence). Equivalent to
     /// `ServiceBuilder::new(config).build_in_memory()`.
-    pub fn in_memory(config: EngineConfig) -> Self {
+    pub fn in_memory(config: EngineConfig) -> Result<Self, ServiceError> {
         ServiceBuilder::new(config).build_in_memory()
     }
 
@@ -437,7 +450,7 @@ impl FerretService {
             if let Err(e) = txn.commit() {
                 // Roll the engine back so memory matches storage.
                 for (id, _, _) in &items {
-                    self.engine.remove(*id);
+                    self.engine.remove(*id).ok();
                 }
                 self.record_store_error("insert_batch");
                 return Err(e.into());
@@ -489,7 +502,7 @@ impl FerretService {
             }
             if let Err(e) = txn.commit() {
                 // Roll the engine back so memory matches storage.
-                self.engine.remove(id);
+                self.engine.remove(id).ok();
                 self.record_store_error("insert");
                 return Err(e.into());
             }
@@ -508,7 +521,7 @@ impl FerretService {
     /// Removes an object and its attributes.
     pub fn remove(&mut self, id: ObjectId) -> Result<bool, ServiceError> {
         self.cache.bump_epoch();
-        let present = self.engine.remove(id);
+        let present = self.engine.remove(id)?;
         if let Some(db) = self.db.as_mut() {
             let mut txn = db.begin();
             txn.delete(FEATURES_TABLE, &id.0.to_le_bytes());
@@ -550,6 +563,22 @@ impl FerretService {
             }
         }
         Ok(())
+    }
+
+    /// Applies finished background compactions and schedules any due
+    /// segment maintenance, without blocking on it. A no-op for
+    /// monolithic engines. Results are bit-identical across compactions,
+    /// so the result-cache epoch is deliberately left alone — cached
+    /// replies stay valid.
+    pub fn maintain(&mut self) -> Result<(), ServiceError> {
+        Ok(self.engine.maintain()?)
+    }
+
+    /// Runs segment compaction to quiescence inline (monolithic engines
+    /// rebuild their index stop-the-world). Epoch-neutral for the result
+    /// cache: compaction never changes query results.
+    pub fn compact(&mut self) -> Result<(), ServiceError> {
+        Ok(self.engine.compact()?)
     }
 
     /// Checkpoints the metadata store (persistent services only).
@@ -752,12 +781,15 @@ impl FerretService {
             }
             Command::Stat => {
                 let fp = self.engine.metadata_footprint();
+                let st = self.engine.storage_stats();
                 Ok(Response::Stat {
                     objects: self.engine.len(),
                     segments: fp.segments,
                     sketch_bytes: fp.sketch_bytes,
                     feature_bytes: fp.feature_vector_bytes,
                     index_bytes: self.engine.filter_index_bytes(),
+                    index_segments: st.sealed_segments,
+                    memtable_objects: st.memtable_objects,
                 })
             }
             Command::Help => Ok(Response::Help),
@@ -852,7 +884,7 @@ mod tests {
     }
 
     fn populated() -> FerretService {
-        let mut svc = FerretService::in_memory(config());
+        let mut svc = FerretService::in_memory(config()).unwrap();
         for i in 0..6u64 {
             let attrs = AttrsBuilder::new()
                 .keyword("group", if i < 3 { "low" } else { "high" })
@@ -954,8 +986,8 @@ mod tests {
 
     #[test]
     fn batch_insert_matches_serial_and_is_atomic() {
-        let mut serial = FerretService::in_memory(config());
-        let mut batched = FerretService::in_memory(config());
+        let mut serial = FerretService::in_memory(config()).unwrap();
+        let mut batched = FerretService::in_memory(config()).unwrap();
         batched.set_parallelism(Parallelism::Threads(3));
         let attrs = |i: u64| Some(AttrsBuilder::new().int("idx", i as i64).build());
         for i in 0..8u64 {

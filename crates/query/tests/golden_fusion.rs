@@ -89,7 +89,7 @@ fn render_hits(label: &str, hits: &[FusedHit], out: &mut String) {
 /// points on a line, banded attributes.
 fn pinned_service() -> FerretService {
     let params = SketchParams::new(96, vec![0.0; 2], vec![1.0; 2]).unwrap();
-    let mut svc = FerretService::in_memory(EngineConfig::basic(params, SEED));
+    let mut svc = FerretService::in_memory(EngineConfig::basic(params, SEED)).unwrap();
     for i in 0..10u64 {
         let x = 0.05 + 0.09 * i as f32;
         let attrs = AttrsBuilder::new()

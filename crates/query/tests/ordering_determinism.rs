@@ -74,7 +74,7 @@ fn cache_hits_are_never_older_than_an_observed_epoch() {
 
 fn tiny_service() -> FerretService {
     let params = SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).expect("valid params");
-    let mut svc = FerretService::in_memory(EngineConfig::basic(params, 0xFE44E7));
+    let mut svc = FerretService::in_memory(EngineConfig::basic(params, 0xFE44E7)).unwrap();
     let objects = (0..4u64)
         .map(|id| {
             let v = FeatureVector::from_components(vec![id as f32 * 0.1, 0.5]);

@@ -15,7 +15,7 @@ fn service(n: u64) -> FerretService {
         SketchParams::new(64, vec![0.0; 2], vec![1.0; 2]).unwrap(),
         5,
     );
-    let mut svc = FerretService::in_memory(config);
+    let mut svc = FerretService::in_memory(config).unwrap();
     for i in 0..n {
         let x = (i as f32 + 0.5) / n as f32;
         svc.insert(

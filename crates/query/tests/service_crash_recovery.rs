@@ -122,7 +122,7 @@ fn read_recovered(dir: &Path) -> Model {
 
 /// A fresh in-memory service holding exactly the objects in `model`.
 fn rebuild_in_memory(model: &Model) -> FerretService {
-    let mut svc = FerretService::in_memory(config());
+    let mut svc = FerretService::in_memory(config()).unwrap();
     let items: Vec<_> = model
         .iter()
         .map(|(&id, &has_attrs)| {

@@ -1,0 +1,383 @@
+//! On-disk sealed index segments with a manifest-swap commit point.
+//!
+//! The segmented sketch index persists each sealed segment as one
+//! immutable file plus a `manifest` naming the live segment set. Every
+//! mutation follows the same durable pattern as the snapshot writer:
+//! temp-write → fsync → rename → directory fsync. The **manifest rename
+//! is the commit point** — a crash anywhere in a seal→merge→swap cycle
+//! recovers to the segment set of the last committed manifest, with no
+//! record lost or duplicated (see `tests/segment_crash_points.rs`).
+//!
+//! File ids are allocated monotonically and recorded in the manifest, so
+//! an orphan file from an aborted write is never referenced; its id is
+//! reused by a later atomic rename, which is safe because nothing ever
+//! pointed at the orphan. Unreferenced files are garbage-collected only
+//! *after* the replacing manifest is durable.
+//!
+//! Formats (little-endian, CRC-32 over the body):
+//!
+//! ```text
+//! seg-<id>.fseg := magic "FSEG" u32, version u32, body_len u64, crc u32,
+//!                  body { file_id u64, count u64,
+//!                         records { object_id u64, payload blob } }
+//! manifest      := magic "FMAN" u32, version u32, body_len u64, crc u32,
+//!                  body { next_id u64, count u64, live file ids u64... }
+//! ```
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::codec::{Decoder, Encoder};
+use crate::crc::crc32;
+use crate::error::{Result, StoreError};
+use crate::vfs::Vfs;
+
+const SEG_MAGIC: u32 = u32::from_le_bytes(*b"FSEG");
+const MAN_MAGIC: u32 = u32::from_le_bytes(*b"FMAN");
+const VERSION: u32 = 1;
+const MANIFEST: &str = "manifest";
+
+/// One persisted record of a sealed segment: an object id plus an opaque
+/// payload (the engine stores encoded sketches; the store does not care).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// The object the payload belongs to.
+    pub id: u64,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A segment read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedSegment {
+    /// The on-disk file id (manifest order is preserved by [`SegmentStore::load`]).
+    pub file_id: u64,
+    /// The segment's records, in stored order.
+    pub records: Vec<SegmentRecord>,
+}
+
+/// Durable storage for sealed index segments behind the [`Vfs`] seam.
+#[derive(Clone)]
+pub struct SegmentStore {
+    vfs: Arc<dyn Vfs>,
+    dir: PathBuf,
+    /// Next file id to allocate; monotone, persisted in the manifest.
+    next_id: u64,
+    /// Files believed to exist on disk (committed or just written).
+    tracked: BTreeSet<u64>,
+    /// The last committed manifest's live file ids, in manifest order.
+    live: Vec<u64>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .field("next_id", &self.next_id)
+            .field("live", &self.live)
+            .finish_non_exhaustive()
+    }
+}
+
+fn frame(magic: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 20);
+    out.extend_from_slice(&magic.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(raw)
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(raw)
+}
+
+fn unframe<'a>(magic: u32, what: &str, bytes: &'a [u8]) -> Result<&'a [u8]> {
+    if bytes.len() < 20 {
+        return Err(StoreError::Corrupt(format!("{what} too short")));
+    }
+    let got_magic = le_u32(&bytes[0..4]);
+    if got_magic != magic {
+        return Err(StoreError::Corrupt(format!("bad {what} magic")));
+    }
+    let version = le_u32(&bytes[4..8]);
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!("{what} version {version}")));
+    }
+    let body_len = le_u64(&bytes[8..16]) as usize;
+    let crc = le_u32(&bytes[16..20]);
+    if bytes.len() != 20 + body_len {
+        return Err(StoreError::Corrupt(format!(
+            "{what} body length {} vs declared {body_len}",
+            bytes.len() - 20
+        )));
+    }
+    let body = &bytes[20..];
+    if crc32(body) != crc {
+        return Err(StoreError::Corrupt(format!("{what} crc mismatch")));
+    }
+    Ok(body)
+}
+
+impl SegmentStore {
+    /// Opens (creating if needed) a segment store rooted at `dir`,
+    /// restoring the live set and id allocator from the manifest.
+    pub fn open(vfs: Arc<dyn Vfs>, dir: &Path) -> Result<Self> {
+        vfs.create_dir_all(dir)?;
+        let mut store = Self {
+            vfs,
+            dir: dir.to_path_buf(),
+            next_id: 0,
+            tracked: BTreeSet::new(),
+            live: Vec::new(),
+        };
+        if let Some((next_id, live)) = store.read_manifest()? {
+            store.next_id = next_id;
+            store.tracked = live.iter().copied().collect();
+            store.live = live;
+        }
+        Ok(store)
+    }
+
+    /// The directory the store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The last committed manifest's live file ids, in commit order.
+    pub fn live(&self) -> &[u64] {
+        &self.live
+    }
+
+    /// The next file id the store will allocate.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    fn segment_path(&self, file_id: u64) -> PathBuf {
+        self.dir.join(format!("seg-{file_id}.fseg"))
+    }
+
+    /// Writes one segment durably and returns its allocated file id. The
+    /// segment is *not* live until a later [`SegmentStore::commit_manifest`]
+    /// names it; a crash in between leaves an unreferenced orphan.
+    pub fn write_segment(&mut self, records: &[SegmentRecord]) -> Result<u64> {
+        let file_id = self.next_id;
+        self.next_id += 1;
+        let mut body = Encoder::new();
+        body.put_u64(file_id);
+        body.put_u64(records.len() as u64);
+        for r in records {
+            body.put_u64(r.id);
+            body.put_blob(&r.payload)?;
+        }
+        let bytes = frame(SEG_MAGIC, &body.into_bytes());
+        let path = self.segment_path(file_id);
+        let tmp = path.with_extension("fseg.tmp");
+        {
+            let mut f = self.vfs.create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        self.vfs.rename(&tmp, &path)?;
+        self.vfs.sync_dir(&self.dir)?;
+        self.tracked.insert(file_id);
+        Ok(file_id)
+    }
+
+    /// Atomically swaps the live segment set to `live` (the commit point),
+    /// then garbage-collects files the new manifest no longer references.
+    ///
+    /// Removal happens strictly after the manifest rename is directory-
+    /// fsynced, so a crash can never leave a durable manifest pointing at
+    /// a removed file.
+    pub fn commit_manifest(&mut self, live: &[u64]) -> Result<()> {
+        for id in live {
+            if !self.tracked.contains(id) {
+                return Err(StoreError::Corrupt(format!(
+                    "manifest references unwritten segment file {id}"
+                )));
+            }
+        }
+        let mut body = Encoder::new();
+        body.put_u64(self.next_id);
+        body.put_u64(live.len() as u64);
+        for &id in live {
+            body.put_u64(id);
+        }
+        let bytes = frame(MAN_MAGIC, &body.into_bytes());
+        let path = self.dir.join(MANIFEST);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = self.vfs.create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        self.vfs.rename(&tmp, &path)?;
+        self.vfs.sync_dir(&self.dir)?;
+        // Committed: everything below is best-effort cleanup of files the
+        // durable manifest no longer references.
+        let live_set: BTreeSet<u64> = live.iter().copied().collect();
+        for id in std::mem::take(&mut self.tracked) {
+            if live_set.contains(&id) {
+                continue;
+            }
+            self.vfs.remove_file(&self.segment_path(id)).ok();
+        }
+        self.tracked = live_set;
+        self.live = live.to_vec();
+        Ok(())
+    }
+
+    fn read_manifest(&self) -> Result<Option<(u64, Vec<u64>)>> {
+        let bytes = match self.vfs.read(&self.dir.join(MANIFEST)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let body = unframe(MAN_MAGIC, "segment manifest", &bytes)?;
+        let mut dec = Decoder::new(body);
+        let next_id = dec.get_u64()?;
+        let count = dec.get_u64()? as usize;
+        let mut live = Vec::with_capacity(count);
+        for _ in 0..count {
+            live.push(dec.get_u64()?);
+        }
+        if !dec.is_done() {
+            return Err(StoreError::Corrupt("trailing manifest bytes".into()));
+        }
+        Ok(Some((next_id, live)))
+    }
+
+    /// Reads one committed segment file back, verifying its CRC and that
+    /// the stored file id matches the manifest's.
+    pub fn read_segment(&self, file_id: u64) -> Result<LoadedSegment> {
+        let bytes = self.vfs.read(&self.segment_path(file_id))?;
+        let body = unframe(SEG_MAGIC, "segment file", &bytes)?;
+        let mut dec = Decoder::new(body);
+        let stored_id = dec.get_u64()?;
+        if stored_id != file_id {
+            return Err(StoreError::Corrupt(format!(
+                "segment file {file_id} claims id {stored_id}"
+            )));
+        }
+        let count = dec.get_u64()? as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = dec.get_u64()?;
+            let payload = dec.get_blob()?;
+            records.push(SegmentRecord { id, payload });
+        }
+        if !dec.is_done() {
+            return Err(StoreError::Corrupt("trailing segment bytes".into()));
+        }
+        Ok(LoadedSegment { file_id, records })
+    }
+
+    /// Loads the committed segment set: every manifest-listed file, CRC-
+    /// verified, in manifest order. Segments written but never committed
+    /// are invisible here — that is the recovery contract.
+    pub fn load(&self) -> Result<Vec<LoadedSegment>> {
+        self.live.iter().map(|&id| self.read_segment(id)).collect()
+    }
+}
+
+#[cfg(test)]
+// Tests corrupt fixture files directly; the Vfs seam is for production durability.
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use crate::vfs::StdVfs;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ferret-segstore-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn recs(ids: &[u64]) -> Vec<SegmentRecord> {
+        ids.iter()
+            .map(|&id| SegmentRecord {
+                id,
+                payload: vec![id as u8; 3],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seal_merge_swap_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut store = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        assert!(store.load().unwrap().is_empty());
+        let a = store.write_segment(&recs(&[1, 2])).unwrap();
+        store.commit_manifest(&[a]).unwrap();
+        let b = store.write_segment(&recs(&[3])).unwrap();
+        store.commit_manifest(&[a, b]).unwrap();
+        // Merge a+b into c; the swap retires both inputs.
+        let c = store.write_segment(&recs(&[1, 2, 3])).unwrap();
+        store.commit_manifest(&[c]).unwrap();
+        assert!(!StdVfs.exists(&store.segment_path(a)));
+        assert!(!StdVfs.exists(&store.segment_path(b)));
+
+        let reopened = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        assert_eq!(reopened.live(), &[c]);
+        assert_eq!(reopened.next_id(), store.next_id());
+        let loaded = reopened.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].records, recs(&[1, 2, 3]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_segments_stay_invisible() {
+        let dir = tmpdir("orphan");
+        let mut store = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        let a = store.write_segment(&recs(&[7])).unwrap();
+        store.commit_manifest(&[a]).unwrap();
+        // Written but never committed: an orphan.
+        let orphan = store.write_segment(&recs(&[8, 9])).unwrap();
+        assert_ne!(a, orphan);
+        let reopened = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        assert_eq!(reopened.live(), &[a]);
+        let loaded = reopened.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].records, recs(&[7]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_unwritten_file_ids() {
+        let dir = tmpdir("unwritten");
+        let mut store = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        assert!(store.commit_manifest(&[99]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_detected() {
+        let dir = tmpdir("corrupt");
+        let mut store = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        let a = store.write_segment(&recs(&[1, 2, 3])).unwrap();
+        store.commit_manifest(&[a]).unwrap();
+        let path = store.segment_path(a);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let reopened = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+        assert!(reopened.load().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,257 @@
+//! Exhaustive crash-point sweep of the segment store's manifest-swap
+//! commit protocol (DESIGN.md §5.6, "Segmented index contract").
+//!
+//! The durability claim under test: the **manifest rename is the commit
+//! point**. Whatever I/O event a crash lands on — mid segment write,
+//! mid manifest temp write, between rename and directory fsync, or
+//! during post-commit garbage collection — recovery must load exactly
+//! the segment set of *some fully committed manifest*, at or past every
+//! commit that returned success before the crash. No half-written
+//! segment may surface, and no committed segment may vanish.
+//!
+//! Same two-pass harness as `crash_points.rs`: pass 1 records the full
+//! I/O event trace of a fault-free run; pass 2 replays the workload once
+//! per event index, crashing there under both the seeded and the
+//! worst-case (every unsynced byte, name, and rename lost) models, then
+//! reopens with the real filesystem and checks the recovered set.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ferret_store::vfs::{FaultPlan, FaultVfs, StdVfs, Vfs};
+use ferret_store::{SegmentRecord, SegmentStore};
+
+/// One step of the segment lifecycle workload.
+#[derive(Clone)]
+enum Step {
+    /// Seal: write a new segment file holding these records. The file is
+    /// remembered by its position in the script's write order.
+    Write(Vec<SegmentRecord>),
+    /// Swap the manifest to the segment files at these write positions
+    /// (a compaction commit when the set shrinks).
+    Commit(Vec<usize>),
+}
+
+fn rec(id: u64) -> SegmentRecord {
+    SegmentRecord {
+        id,
+        payload: vec![id as u8 ^ 0x5A; (id % 7 + 1) as usize],
+    }
+}
+
+fn seg(ids: &[u64]) -> Vec<SegmentRecord> {
+    ids.iter().copied().map(rec).collect()
+}
+
+/// The observable state: record lists of the live segments, in manifest
+/// order. File ids are an allocator detail and may differ between a
+/// clean run and a post-crash continuation, so they are not compared.
+type State = Vec<Vec<SegmentRecord>>;
+
+/// Every committed state the script passes through, `states[k]` = after
+/// `k` successful commits (`states[0]` = the empty store).
+fn committed_states(steps: &[Step]) -> Vec<State> {
+    let mut written: Vec<Vec<SegmentRecord>> = Vec::new();
+    let mut states = vec![Vec::new()];
+    for step in steps {
+        match step {
+            Step::Write(records) => written.push(records.clone()),
+            Step::Commit(live) => {
+                states.push(live.iter().map(|&i| written[i].clone()).collect());
+            }
+        }
+    }
+    states
+}
+
+struct RunOutcome {
+    commits_done: u64,
+    failed: bool,
+}
+
+/// Drives the script against a store over `vfs`, stopping at the first
+/// injected error. `commits_done` counts only commits that returned
+/// success — each one is fully durable by the manifest-swap contract.
+fn run_workload(vfs: Arc<dyn Vfs>, dir: &Path, steps: &[Step]) -> RunOutcome {
+    let mut store = match SegmentStore::open(vfs, dir) {
+        Ok(store) => store,
+        Err(_) => {
+            return RunOutcome {
+                commits_done: 0,
+                failed: true,
+            }
+        }
+    };
+    let mut file_ids: Vec<u64> = Vec::new();
+    let mut commits_done = 0u64;
+    for step in steps {
+        let result = match step {
+            Step::Write(records) => store.write_segment(records).map(|id| file_ids.push(id)),
+            Step::Commit(live) => {
+                let ids: Vec<u64> = live.iter().map(|&i| file_ids[i]).collect();
+                let out = store.commit_manifest(&ids);
+                if out.is_ok() {
+                    commits_done += 1;
+                }
+                out
+            }
+        };
+        if result.is_err() {
+            return RunOutcome {
+                commits_done,
+                failed: true,
+            };
+        }
+    }
+    RunOutcome {
+        commits_done,
+        failed: false,
+    }
+}
+
+/// Reopens the store with the real filesystem and loads the committed
+/// segment set — this is exactly what engine startup does.
+fn read_state(dir: &Path) -> State {
+    let store = SegmentStore::open(Arc::new(StdVfs), dir)
+        .expect("segment store recovery after crash must succeed");
+    store
+        .load()
+        .expect("loading committed segments after crash must succeed")
+        .into_iter()
+        .map(|s| s.records)
+        .collect()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ferret-segcrash-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Enumerates every crash point of one workload and checks recovery at
+/// each. Returns the number of distinct fault points exercised.
+fn sweep(name: &str, steps: &[Step]) -> u64 {
+    let base = tmpdir(name);
+    let total_commits = steps
+        .iter()
+        .filter(|s| matches!(s, Step::Commit(_)))
+        .count() as u64;
+    let states = committed_states(steps);
+
+    // Pass 1: record the full event trace of a fault-free run.
+    let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::default());
+    let clean_dir = base.join("clean");
+    let outcome = run_workload(Arc::new(fault.clone()), &clean_dir, steps);
+    assert!(!outcome.failed, "[{name}] fault-free run failed");
+    assert_eq!(outcome.commits_done, total_commits);
+    let total_events = fault.fault_points();
+    assert!(!fault.tripped());
+    assert_eq!(
+        read_state(&clean_dir),
+        states[total_commits as usize],
+        "[{name}] fault-free load mismatch"
+    );
+
+    // Pass 2: crash at every event index, under both crash models.
+    for point in 0..total_events {
+        for worst_case in [false, true] {
+            let dir = base.join(format!("p{point}-{}", u8::from(worst_case)));
+            let seed = 0x8d1c_37a4_55e2_09b1u64 ^ (point << 1) ^ u64::from(worst_case);
+            let fault = FaultVfs::new(Arc::new(StdVfs), FaultPlan::crash_at(point, seed));
+            let outcome = run_workload(Arc::new(fault.clone()), &dir, steps);
+            assert!(outcome.failed, "[{name}] point {point}: crash did not fire");
+            assert!(fault.tripped(), "[{name}] point {point}: no injected fault");
+            if worst_case {
+                fault.crash_worst_case().unwrap();
+            } else {
+                fault.crash().unwrap();
+            }
+            let recovered = read_state(&dir);
+            let k = states.iter().position(|s| *s == recovered);
+            let k = k.unwrap_or_else(|| {
+                panic!(
+                    "[{name}] point {point} worst={worst_case}: recovered segment set \
+                     is not any committed manifest state (commits_done={})",
+                    outcome.commits_done
+                )
+            });
+            // Every commit that returned success is durable; at most the
+            // one in-flight commit may additionally have landed.
+            assert!(
+                k as u64 >= outcome.commits_done,
+                "[{name}] point {point} worst={worst_case}: recovered state {k} lost a \
+                 committed manifest (floor {})",
+                outcome.commits_done
+            );
+            assert!(
+                k as u64 <= outcome.commits_done + 1,
+                "[{name}] point {point} worst={worst_case}: recovered state {k} is past \
+                 the one in-flight commit (floor {})",
+                outcome.commits_done
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+    total_events
+}
+
+/// Plain ingest: seal-and-commit twice, each commit growing the live set.
+#[test]
+fn crash_sweep_ingest_commits() {
+    let steps = vec![
+        Step::Write(seg(&[1, 2, 3])),
+        Step::Commit(vec![0]),
+        Step::Write(seg(&[4, 5])),
+        Step::Commit(vec![0, 1]),
+    ];
+    let points = sweep("ingest", &steps);
+    assert!(points > 8, "suspiciously few fault points: {points}");
+}
+
+/// Compaction: two committed segments are replaced by their merge in a
+/// single manifest swap, and the dead files are garbage-collected. A
+/// crash during GC must not lose the already-durable new manifest; a
+/// crash before the swap must keep both inputs.
+#[test]
+fn crash_sweep_compaction_swap_and_gc() {
+    let steps = vec![
+        Step::Write(seg(&[1, 2])),
+        Step::Commit(vec![0]),
+        Step::Write(seg(&[3, 4])),
+        Step::Commit(vec![0, 1]),
+        // The merge output, then the swap that retires both inputs.
+        Step::Write(seg(&[1, 2, 3, 4])),
+        Step::Commit(vec![2]),
+        // Life goes on after compaction: one more ingest commit.
+        Step::Write(seg(&[9])),
+        Step::Commit(vec![2, 3]),
+    ];
+    let points = sweep("compaction", &steps);
+    assert!(points > 16, "suspiciously few fault points: {points}");
+}
+
+/// A segment written but never committed (the crash wiped the engine
+/// before its manifest swap) is invisible to load and harmlessly
+/// re-collected, even across reopen.
+#[test]
+fn uncommitted_segment_is_invisible() {
+    let dir = tmpdir("orphan");
+    let mut store = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+    let a = store.write_segment(&seg(&[1, 2])).unwrap();
+    store.commit_manifest(&[a]).unwrap();
+    let orphan = store.write_segment(&seg(&[7, 8])).unwrap();
+    assert_ne!(a, orphan);
+    drop(store);
+
+    let store = SegmentStore::open(Arc::new(StdVfs), &dir).unwrap();
+    assert_eq!(store.live(), &[a]);
+    let loaded = store.load().unwrap();
+    assert_eq!(loaded.len(), 1);
+    assert_eq!(loaded[0].records, seg(&[1, 2]));
+    // The allocator restarts past every *committed* id. Reusing the
+    // orphan's id is harmless — write_segment replaces the stale file
+    // atomically — but a committed id must never be reissued.
+    assert!(store.next_id() > a);
+    std::fs::remove_dir_all(&dir).ok();
+}

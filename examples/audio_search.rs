@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example audio_search`
 
-use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryOptions};
 use ferret::core::filter::FilterParams;
 use ferret::datatypes::audio::{audio_sketch_params, generate_timit_dataset, TimitConfig};
 use ferret::eval::{format_duration, format_score, run_suite, BenchmarkSuite};
@@ -35,7 +35,7 @@ fn main() {
 
     // 600-bit sketches per word segment, as in the paper's Table 1 row.
     let config = EngineConfig::basic(audio_sketch_params(&dataset, 600, 2), 13);
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use ferret::core::distance::correlation::{PearsonDistance, SpearmanDistance};
 use ferret::core::distance::lp::L1;
 use ferret::core::distance::SegmentDistance;
-use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryOptions};
 use ferret::datatypes::genomic::{
     generate_genomic_dataset, genomic_sketch_params, MicroarrayConfig,
 };
@@ -44,7 +44,7 @@ fn main() {
     for (name, dist) in distances {
         let mut config = EngineConfig::basic(genomic_sketch_params(&dataset, 128, 1), 17);
         config.seg_distance = dist;
-        let mut engine = SearchEngine::new(config);
+        let mut engine = EngineBuilder::from_config(config).build().unwrap();
         for (id, obj) in &dataset.objects {
             engine.insert(*id, obj.clone()).expect("insert");
         }
@@ -60,7 +60,7 @@ fn main() {
     // A gene-neighbour listing, like the paper's Figure 13 web view.
     let mut config = EngineConfig::basic(genomic_sketch_params(&dataset, 128, 1), 17);
     config.seg_distance = Arc::new(PearsonDistance);
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use ferret::core::engine::{EngineConfig, QueryOptions, RankingMethod, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryOptions, RankingMethod};
 use ferret::core::filter::FilterParams;
 use ferret::datatypes::image::{generate_vary_dataset, image_sketch_params, VaryConfig};
 use ferret::eval::{format_duration, format_score, run_suite, BenchmarkSuite};
@@ -43,7 +43,7 @@ fn main() {
         tau: 4.0,
         sqrt_weights: true,
     };
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }

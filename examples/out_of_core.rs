@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example out_of_core`
 
-use ferret::core::engine::{EngineConfig, SearchEngine};
+use ferret::core::engine::SearchEngine;
 use ferret::core::filter::{filter_candidates, FilterParams};
 use ferret::core::object::ObjectId;
 use ferret::core::sketch::{filter_candidates_on_disk, SketchFileWriter};
@@ -13,7 +13,9 @@ use ferret::datatypes::image::{generate_mixed_images, image_sketch_params};
 fn main() {
     let n = 50_000;
     println!("building {n} mixed-image objects with 96-bit sketches...");
-    let mut engine = SearchEngine::new(EngineConfig::basic(image_sketch_params(96, 2), 9));
+    let mut engine = SearchEngine::builder(image_sketch_params(96, 2), 9)
+        .build()
+        .unwrap();
     for (id, obj) in generate_mixed_images(n, 4) {
         engine.insert(id, obj).expect("insert");
     }
@@ -21,7 +23,7 @@ fn main() {
     // Spill the sketch database to disk.
     let path = std::env::temp_dir().join(format!("ferret-ooc-{}.fskd", std::process::id()));
     let mut writer = SketchFileWriter::create(&path, 96).expect("create sketch file");
-    for &id in engine.ids() {
+    for id in engine.ids() {
         writer
             .append(id, engine.sketched(id).expect("sketched"))
             .expect("append");

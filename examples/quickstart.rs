@@ -13,7 +13,7 @@ fn main() -> Result<()> {
     // 1. Configure the sketch construction unit: 128-bit sketches over
     //    2-dimensional feature vectors with components in [0, 1].
     let params = SketchParams::new(128, vec![0.0, 0.0], vec![1.0, 1.0])?;
-    let mut engine = SearchEngine::new(EngineConfig::basic(params, 42));
+    let mut engine = SearchEngine::builder(params, 42).build().unwrap();
 
     // 2. Insert three clusters of objects (each a single weighted segment).
     let clusters = [(0.2f32, 0.2f32), (0.5, 0.8), (0.85, 0.3)];

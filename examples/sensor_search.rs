@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example sensor_search`
 
-use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryOptions};
 use ferret::core::filter::FilterParams;
 use ferret::datatypes::sensor::{generate_sensor_dataset, sensor_sketch_params, SensorConfig};
 use ferret::eval::{format_duration, format_score, run_suite, BenchmarkSuite};
@@ -34,7 +34,7 @@ fn main() {
     );
 
     let config = EngineConfig::basic(sensor_sketch_params(&dataset, 128, 2), 31);
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example shape_search`
 
-use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryOptions};
 use ferret::datatypes::shape::{generate_psb_dataset, shape_sketch_params, PsbConfig};
 use ferret::eval::{format_ratio, format_score, run_suite, BenchmarkSuite};
 
@@ -32,7 +32,7 @@ fn main() {
     // Ferret: 800-bit sketches (Table 1's shape row), sketch-only ranking.
     let mut config = EngineConfig::basic(shape_sketch_params(&dataset, 800, 2), 21);
     config.store_originals = true;
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }

@@ -39,6 +39,11 @@ PROPTEST_SEED=20260805 cargo test -q -p ferret-store
 PROPTEST_SEED=20260805 cargo test -q -p ferret-query \
     --test service_crash_recovery --test store_fault_telemetry
 
+echo "==> segmented index: exactness vs monolithic, manifest-swap crash sweep"
+# Fixed seed so the randomized op interleavings are reproducible.
+PROPTEST_SEED=20260805 cargo test -q --test segmented_index
+PROPTEST_SEED=20260805 cargo test -q -p ferret-store --test segment_crash_points
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 # --all-targets lints tests, benches, and examples too, and clippy.toml's
 # disallowed-methods bans Vfs-bypassing durable writes in production code.
@@ -169,5 +174,58 @@ echo "$METRICS" | grep "^ferret_pushdown_queries_total" | grep -qv ' 0$' \
 echo "$METRICS" | grep "^ferret_fusion_queries_total" | grep -q 'mode="rrf"' \
     || { echo "/metrics missing rrf-labelled ferret_fusion_queries_total:"; echo "$METRICS" | grep '^ferret_fusion'; exit 1; }
 echo "smoke OK: /metrics served $(echo "$METRICS" | grep -c '^ferret_') ferret series"
+
+echo "==> smoke: segmented serve — ingest during queries, background compaction, no BUSY"
+# Tiny memtable so a handful of inserts spans many sealed segments, which
+# forces the background compactor to merge while queries are in flight.
+mkdir "$SMOKE_DIR/watch2"
+printf '1 0.1 0.2\n' > "$SMOKE_DIR/watch2/seed0.fvec"
+printf '1 0.8 0.9\n' > "$SMOKE_DIR/watch2/seed1.fvec"
+target/release/ferret serve --db "$SMOKE_DIR/db2" --watch "$SMOKE_DIR/watch2" --dim 2 \
+    --max-inflight 8 --filter-strategy indexed --scan-interval 1 \
+    --index-layout segmented --memtable-size 2 --compaction on \
+    --tcp 127.0.0.1:0 --http 127.0.0.1:0 > "$SMOKE_DIR/serve2.log" 2>&1 &
+SERVE_PID=$!
+HTTP_ADDR=""
+for _ in $(seq 1 50); do
+    HTTP_ADDR="$(sed -n 's|^web interface on http://\([^/]*\)/$|\1|p' "$SMOKE_DIR/serve2.log")"
+    [ -n "$HTTP_ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "segmented serve exited early:"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
+    sleep 0.2
+done
+[ -n "$HTTP_ADDR" ] || { echo "segmented serve never printed its http address"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
+# Keep inserting (new watch files, picked up by the 1s scan loop) while
+# querying: every read must get a real 200 reply — never a 503 BUSY —
+# even though seals and background merges are landing in between.
+for i in $(seq 2 13); do
+    printf '1 0.%s 0.%s\n' "$((i % 10))" "$(((i + 3) % 10))" > "$SMOKE_DIR/watch2/obj$i.fvec"
+    REPLY="$(http_get "/search?id=0&k=2&mode=filter")"
+    echo "$REPLY" | head -n 1 | grep -q " 200 " \
+        || { echo "segmented read $i was not 200 (stalled or BUSY?):"; echo "$REPLY" | head -n 3; exit 1; }
+    echo "$REPLY" | grep -q '"results":\[{"id":' \
+        || { echo "segmented read $i returned no results:"; echo "$REPLY" | head -n 3; exit 1; }
+    sleep 0.3
+done
+# Wait for the scan loop to ingest everything and the compactor to merge
+# at least one segment run.
+COMPACTIONS=0
+for _ in $(seq 1 60); do
+    METRICS="$(http_get /metrics)"
+    COMPACTIONS="$(echo "$METRICS" | sed -n 's/^ferret_compactions_total \([0-9]*\)$/\1/p')"
+    [ -n "$COMPACTIONS" ] && [ "$COMPACTIONS" -gt 0 ] && break
+    sleep 0.5
+done
+[ -n "$COMPACTIONS" ] && [ "$COMPACTIONS" -gt 0 ] \
+    || { echo "segmented serve never compacted:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+# The segment gauges are live on /metrics and /stat reports the layout's
+# structure alongside the object count.
+for series in ferret_segments ferret_memtable_objects; do
+    echo "$METRICS" | grep -q "^$series" \
+        || { echo "/metrics missing $series:"; echo "$METRICS" | grep '^ferret_' | head -n 20; exit 1; }
+done
+http_get /stat | grep -q '"index_segments":' \
+    || { echo "/stat missing index_segments"; exit 1; }
+kill "$SERVE_PID" 2>/dev/null || true
+echo "segmented smoke OK: $COMPACTIONS background compactions, reads never blocked"
 
 echo "CI OK"

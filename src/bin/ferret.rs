@@ -24,6 +24,7 @@ use ferret::core::engine::EngineConfig;
 use ferret::core::filter::FilterStrategy;
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
+use ferret::core::segment::IndexLayout;
 use ferret::core::sketch::{SketchParams, SketchStrategy};
 use ferret::core::telemetry::MetricsRegistry;
 use ferret::datatypes::generic::FvecExtractor;
@@ -44,6 +45,9 @@ struct Options {
     threads: Parallelism,
     filter_strategy: FilterStrategy,
     sketch_strategy: SketchStrategy,
+    index_layout: IndexLayout,
+    memtable_size: usize,
+    compaction: bool,
     workers: Option<usize>,
     max_inflight: Option<usize>,
     cache_capacity: usize,
@@ -54,7 +58,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--cache-capacity N] [--filter-strategy scan|indexed|auto]\n                [--sketch-strategy classic|one-pass] [--no-telemetry]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial] [--sketch-strategy classic|one-pass]\n  ferret query  --addr <host:port> <command ...>"
+        "usage:\n  ferret serve  --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--tcp addr] [--http addr] [--scan-interval secs]\n                [--threads N|auto|serial] [--workers N] [--max-inflight N]\n                [--cache-capacity N] [--filter-strategy scan|indexed|auto]\n                [--sketch-strategy classic|one-pass] [--no-telemetry]\n                [--index-layout monolithic|segmented] [--memtable-size N]\n                [--compaction on|off]\n  ferret import --db <dir> --watch <dir> --dim <D> [--bits N] [--k K]\n                [--threads N|auto|serial] [--sketch-strategy classic|one-pass]\n  ferret query  --addr <host:port> <command ...>"
     );
     std::process::exit(2);
 }
@@ -72,6 +76,9 @@ fn parse_options(args: &[String]) -> Options {
         threads: Parallelism::Auto,
         filter_strategy: FilterStrategy::Auto,
         sketch_strategy: SketchStrategy::Classic,
+        index_layout: IndexLayout::Monolithic,
+        memtable_size: ferret::core::engine::DEFAULT_MEMTABLE_SIZE,
+        compaction: true,
         workers: None,
         max_inflight: None,
         cache_capacity: 128,
@@ -125,6 +132,22 @@ fn parse_options(args: &[String]) -> Options {
             }
             "--sketch-strategy" => {
                 opts.sketch_strategy = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--index-layout" => {
+                opts.index_layout = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--memtable-size" => {
+                opts.memtable_size = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--compaction" => {
+                opts.compaction = match need(i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => usage(),
+                };
                 i += 2;
             }
             "--workers" => {
@@ -227,6 +250,9 @@ fn open_service(opts: &Options) -> FerretService {
     config.parallelism = opts.threads;
     config.filter_strategy = opts.filter_strategy;
     config.sketch_strategy = opts.sketch_strategy;
+    config.index_layout = opts.index_layout;
+    config.memtable_size = opts.memtable_size;
+    config.compaction = opts.compaction;
     let built = FerretService::builder(config)
         .db_options(DbOptions::default())
         .cache_capacity(opts.cache_capacity)
@@ -385,6 +411,12 @@ fn cmd_serve(opts: &Options) {
         std::thread::sleep(std::time::Duration::from_secs(opts.scan_interval.max(1)));
         let changed = {
             let mut svc = service.write();
+            // Apply finished background compactions and schedule any due
+            // segment maintenance even when no files changed, so the
+            // segmented layout makes progress on an idle ingest path.
+            if let Err(e) = svc.maintain() {
+                eprintln!("warning: segment maintenance failed: {e}");
+            }
             scan_once(&mut svc, &mut importer)
         };
         if changed > 0 {

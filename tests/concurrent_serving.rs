@@ -30,7 +30,7 @@ fn point(x: f32, y: f32) -> DataObject {
 /// A service whose first `n` objects cluster near the origin; background
 /// inserts land far away so brute-force top-k results never change.
 fn clustered_service(n: u64) -> Arc<RwLock<FerretService>> {
-    let mut svc = FerretService::in_memory(config());
+    let mut svc = FerretService::in_memory(config()).unwrap();
     for i in 0..n {
         let x = 0.05 + i as f32 * 0.03;
         svc.insert(ObjectId(i), point(x, x), None).unwrap();
@@ -134,7 +134,8 @@ fn concurrent_queries_match_serial_baseline_during_inserts() {
 fn concurrent_readers_never_observe_stale_cache_hits() {
     let mut svc = FerretService::builder(config())
         .cache_capacity(32)
-        .build_in_memory();
+        .build_in_memory()
+        .unwrap();
     for i in 0..6u64 {
         let x = 0.05 + i as f32 * 0.03;
         svc.insert(ObjectId(i), point(x, x), None).unwrap();

@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use ferret::core::engine::{EngineConfig, QueryOptions, RankingMethod, SearchEngine};
+use ferret::core::engine::{
+    EngineBuilder, EngineConfig, QueryOptions, RankingMethod, SearchEngine,
+};
 use ferret::core::filter::FilterParams;
 use ferret::datatypes::audio::{audio_sketch_params, generate_timit_dataset, TimitConfig};
 use ferret::datatypes::genomic::{
@@ -17,7 +19,7 @@ use ferret::datatypes::Dataset;
 use ferret::eval::{run_suite, BenchmarkSuite, SuiteResult};
 
 fn index(dataset: &Dataset, config: EngineConfig) -> SearchEngine {
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     for (id, obj) in &dataset.objects {
         engine.insert(*id, obj.clone()).expect("insert");
     }

@@ -12,7 +12,7 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 use std::path::PathBuf;
 
-use ferret::core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryMode, QueryOptions, SearchEngine};
 use ferret::core::filter::{
     filter_candidates, filter_candidates_indexed, FilterParams, FilterStrategy,
     IndexedFilterOutcome,
@@ -44,7 +44,7 @@ fn engine_with(objects: &[DataObject], seed: u64, strategy: FilterStrategy) -> S
     let params = SketchParams::new(64, vec![0.0; 3], vec![1.0; 3]).unwrap();
     let mut config = EngineConfig::basic(params, seed);
     config.filter_strategy = strategy;
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     engine.set_parallelism(Parallelism::Serial);
     for (i, obj) in objects.iter().enumerate() {
         engine.insert(ObjectId(i as u64), obj.clone()).unwrap();
@@ -205,8 +205,8 @@ fn index_maintenance_tracks_engine_mutations() {
     }
     check(&scan, &indexed, "incremental insert");
     for i in (10..30u64).step_by(3) {
-        assert!(scan.remove(ObjectId(i)));
-        assert!(indexed.remove(ObjectId(i)));
+        assert!(scan.remove(ObjectId(i)).unwrap());
+        assert!(indexed.remove(ObjectId(i)).unwrap());
     }
     check(&scan, &indexed, "removal");
     for i in (10..30u64).step_by(3) {
@@ -246,7 +246,7 @@ fn auto_strategy_and_runtime_switching() {
     );
 
     // Force the index regardless of corpus size.
-    engine.set_filter_strategy(FilterStrategy::Indexed);
+    engine.set_filter_strategy(FilterStrategy::Indexed).unwrap();
     assert!(engine.filter_index().is_some());
     assert!(engine.filter_index_bytes() > 0);
     let resp = engine.query_by_id(ObjectId(0), &exact_opts).unwrap();
@@ -269,7 +269,7 @@ fn auto_strategy_and_runtime_switching() {
     assert_eq!(strategy, "indexed-fallback");
 
     // Dropping back to Scan frees the index.
-    engine.set_filter_strategy(FilterStrategy::Scan);
+    engine.set_filter_strategy(FilterStrategy::Scan).unwrap();
     assert!(engine.filter_index().is_none());
     assert_eq!(engine.filter_index_bytes(), 0);
 }
@@ -327,7 +327,7 @@ fn recovery_replay_rebuilds_index() {
     // And the recovered index still answers exactly like a fresh scan twin.
     let mut scan_config = config;
     scan_config.filter_strategy = FilterStrategy::Scan;
-    let mut scan = SearchEngine::new(scan_config);
+    let mut scan = EngineBuilder::from_config(scan_config).build().unwrap();
     scan.set_parallelism(Parallelism::Serial);
     for i in 0..50u64 {
         scan.insert(ObjectId(i), mixed_object(seed, i)).unwrap();

@@ -17,7 +17,7 @@ use std::collections::HashSet;
 
 use proptest::prelude::*;
 
-use ferret::core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryMode, QueryOptions, SearchEngine};
 use ferret::core::filter::FilterStrategy;
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
@@ -54,7 +54,7 @@ fn build_engine(
     config.sketch_strategy = sketch;
     config.parallelism = parallelism;
     config.filter_strategy = filter;
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     engine.insert_batch(items.to_vec()).unwrap();
     engine
 }
@@ -266,7 +266,7 @@ fn service_attr_queries_match_manual_post_filter() {
     use ferret::query::FerretService;
 
     let params = SketchParams::new(96, vec![0.0; DIM], vec![1.0; DIM]).unwrap();
-    let mut svc = FerretService::in_memory(EngineConfig::basic(params, SEED));
+    let mut svc = FerretService::in_memory(EngineConfig::basic(params, SEED)).unwrap();
     for i in 0..10u64 {
         let x = 0.05 + 0.09 * i as f32;
         let attrs = AttrsBuilder::new()

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use ferret::core::engine::{EngineConfig, QueryMode, QueryOptions, SearchEngine};
+use ferret::core::engine::{QueryMode, QueryOptions, SearchEngine};
 use ferret::core::filter::{filter_candidates, filter_candidates_sharded, FilterParams};
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
@@ -32,7 +32,7 @@ fn object_strategy(dim: usize) -> impl Strategy<Value = DataObject> {
 
 fn engine_with(objects: &[DataObject], seed: u64) -> SearchEngine {
     let params = SketchParams::new(64, vec![0.0; 3], vec![1.0; 3]).unwrap();
-    let mut engine = SearchEngine::new(EngineConfig::basic(params, seed));
+    let mut engine = SearchEngine::builder(params, seed).build().unwrap();
     engine.set_parallelism(Parallelism::Serial);
     for (i, obj) in objects.iter().enumerate() {
         engine.insert(ObjectId(i as u64), obj.clone()).unwrap();

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use ferret::core::distance::emd::{emd_with_costs, greedy_emd_with_costs, Emd};
 use ferret::core::distance::lp::{L1, L2};
 use ferret::core::distance::{ObjectDistance, SegmentDistance};
-use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::engine::{QueryOptions, SearchEngine};
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::sketch::{BitVec, SketchBuilder, SketchParams};
 use ferret::core::vector::FeatureVector;
@@ -152,7 +152,7 @@ proptest! {
         query in object_strategy(3),
     ) {
         let params = SketchParams::new(32, vec![0.0; 3], vec![1.0; 3]).unwrap();
-        let mut engine = SearchEngine::new(EngineConfig::basic(params, 1));
+        let mut engine = SearchEngine::builder(params, 1).build().unwrap();
         for (i, obj) in objects.iter().enumerate() {
             engine.insert(ObjectId(i as u64), obj.clone()).unwrap();
         }
@@ -183,7 +183,7 @@ proptest! {
         use std::collections::HashSet;
 
         let params = SketchParams::new(64, vec![0.0; 3], vec![1.0; 3]).unwrap();
-        let mut engine = SearchEngine::new(EngineConfig::basic(params, 5));
+        let mut engine = SearchEngine::builder(params, 5).build().unwrap();
         for (i, obj) in objects.iter().enumerate() {
             engine.insert(ObjectId(i as u64), obj.clone()).unwrap();
         }
@@ -193,7 +193,8 @@ proptest! {
             candidates_per_segment: cand,
             ..FilterParams::default()
         };
-        let dataset = || engine.ids().iter().map(|&id| (id, engine.sketched(id).unwrap()));
+        let ids = engine.ids();
+        let dataset = || ids.iter().map(|&id| (id, engine.sketched(id).unwrap()));
         let (small, _) = filter_candidates(&query, dataset(), &mk(cand_small)).unwrap();
         let (large, _) =
             filter_candidates(&query, dataset(), &mk(cand_small + extra)).unwrap();
@@ -218,7 +219,7 @@ proptest! {
     ) {
         use ferret::core::engine::QueryMode;
         let params = SketchParams::new(64, vec![0.0; 3], vec![1.0; 3]).unwrap();
-        let mut engine = SearchEngine::new(EngineConfig::basic(params, 8));
+        let mut engine = SearchEngine::builder(params, 8).build().unwrap();
         for (i, obj) in objects.iter().enumerate() {
             engine.insert(ObjectId(i as u64), obj.clone()).unwrap();
         }

@@ -40,7 +40,8 @@ fn attrs(i: u64) -> Option<ferret::attr::Attributes> {
 fn populated(cache_capacity: usize) -> FerretService {
     let mut svc = FerretService::builder(config())
         .cache_capacity(cache_capacity)
-        .build_in_memory();
+        .build_in_memory()
+        .unwrap();
     for i in 0..8u64 {
         svc.insert(ObjectId(i), obj(0.05 + 0.1 * i as f32), attrs(i))
             .unwrap();

@@ -33,7 +33,7 @@ fn point(x: f32, y: f32) -> DataObject {
 }
 
 fn shared_service(n: u64) -> Arc<RwLock<FerretService>> {
-    let mut svc = FerretService::in_memory(config());
+    let mut svc = FerretService::in_memory(config()).unwrap();
     for i in 0..n {
         let x = i as f32 / n as f32;
         svc.insert(
@@ -287,7 +287,7 @@ fn acquisition_feeds_live_service() {
     std::fs::write(dir.join("b.csv"), "0.9, 0.9\n").unwrap();
     std::fs::write(dir.join("broken.csv"), "not,numbers,here\n").unwrap();
 
-    let mut svc = FerretService::in_memory(config());
+    let mut svc = FerretService::in_memory(config()).unwrap();
     let mut importer = Importer::new(&dir, PointsExtractor);
     let report = importer.scan_once(&mut Sink(&mut svc)).unwrap();
     assert_eq!(report.imported.len(), 2);
@@ -323,7 +323,7 @@ fn acquisition_then_query_over_tcp() {
         let x = 0.1 + 0.15 * i as f32;
         std::fs::write(dir.join(format!("p{i}.csv")), format!("{x}, {x}\n")).unwrap();
     }
-    let mut svc = FerretService::in_memory(config());
+    let mut svc = FerretService::in_memory(config()).unwrap();
     let mut importer = Importer::new(&dir, PointsExtractor);
     importer.scan_once(&mut Sink(&mut svc)).unwrap();
 

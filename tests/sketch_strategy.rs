@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use ferret::core::engine::{EngineConfig, QueryOptions, SearchEngine};
+use ferret::core::engine::{EngineBuilder, EngineConfig, QueryOptions, SearchEngine};
 use ferret::core::filter::FilterStrategy;
 use ferret::core::object::{DataObject, ObjectId};
 use ferret::core::parallel::Parallelism;
@@ -47,7 +47,7 @@ fn build_engine(
     config.sketch_strategy = strategy;
     config.parallelism = parallelism;
     config.filter_strategy = filter;
-    let mut engine = SearchEngine::new(config);
+    let mut engine = EngineBuilder::from_config(config).build().unwrap();
     let batch: Vec<_> = objects
         .iter()
         .enumerate()
